@@ -1,0 +1,56 @@
+"""Benchmark harness configuration.
+
+Benchmarks regenerate every table/figure of the paper at a reduced,
+CPU-friendly scale and print the rows next to the paper's reported
+values.  Scale up with environment variables::
+
+    REPRO_SCALE=0.3 REPRO_SEEDS=5 pytest benchmarks/ --benchmark-only
+
+Each benchmark runs its workload exactly once (rounds=1): a table
+regeneration is minutes of training, not a microbenchmark.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "latest.txt"
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return ExperimentSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def _results_file():
+    """One results file per bench session (pytest captures stdout of
+    passing tests, so tables are teed here for EXPERIMENTS.md)."""
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    with open(RESULTS_PATH, "w") as fh:
+        yield fh
+
+
+@pytest.fixture
+def report(_results_file):
+    """Print a line and append it to the session results file."""
+
+    def emit(*args):
+        line = " ".join(str(a) for a in args)
+        print(line)
+        _results_file.write(line + "\n")
+        _results_file.flush()
+
+    return emit
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Fixture: time a callable exactly once through pytest-benchmark."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

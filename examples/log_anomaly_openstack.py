@@ -1,0 +1,65 @@
+"""Cloud-log anomaly detection: CLFD vs unsupervised log models.
+
+DeepLog and LogBert model *normality* from (noisily labelled) normal
+sessions and flag deviations; CLFD uses the labels directly after
+correcting them.  This scenario shows where each approach lands on an
+OpenStack-like benchmark as label noise grows, and uses the
+representation diagnostics to explain CLFD's advantage.
+
+Run:  python examples/log_anomaly_openstack.py
+"""
+
+import numpy as np
+
+from repro import CLFD
+from repro.analysis import representation_report
+from repro.baselines import BaselineConfig, DeepLogModel, LogBertModel
+from repro.data import apply_uniform_noise, make_dataset
+from repro.experiments import ExperimentSettings
+from repro.metrics import evaluate_detector
+
+
+def main():
+    # The experiment-harness CLFD preset (longer SSL pre-training than
+    # CLFDConfig.fast()), which the benchmark tables use.
+    clfd_config = ExperimentSettings().clfd_config()
+    rows = []
+    for eta in (0.1, 0.45):
+        rng = np.random.default_rng(0)
+        train, test = make_dataset("openstack", rng, scale=0.1)
+        apply_uniform_noise(train, eta=eta, rng=rng)
+
+        clfd = CLFD(clfd_config).fit(train, rng=np.random.default_rng(0))
+        for name, model in (
+            ("CLFD", clfd),
+            ("DeepLog", DeepLogModel(BaselineConfig(epochs=10)).fit(
+                train, rng=np.random.default_rng(0))),
+            ("LogBert", LogBertModel(BaselineConfig(epochs=10)).fit(
+                train, rng=np.random.default_rng(0))),
+        ):
+            labels, scores = model.predict(test)
+            metrics = evaluate_detector(test.labels(), labels, scores)
+            rows.append((eta, name, metrics))
+
+        if eta == 0.45:
+            # Why does CLFD hold up?  Inspect its learned representation
+            # geometry on the test set.
+            features = clfd.fraud_detector.encode(test)
+            report = representation_report(features, test.labels())
+            print(f"\nCLFD test-set representation at η={eta}: {report}\n")
+
+    print(f"{'eta':>5s} {'model':10s} {'F1':>7s} {'FPR':>7s} {'AUC':>7s}")
+    print("-" * 42)
+    for eta, name, metrics in rows:
+        print(f"{eta:5.2f} {name:10s} {metrics['f1']:7.1f} "
+              f"{metrics['fpr']:7.1f} {metrics['auc_roc']:7.1f}")
+    print(
+        "\nNote: CLFD barely degrades from η=0.1 to η=0.45 while LogBert "
+        "collapses.  DeepLog is structurally noise-resistant here — its "
+        "normal-only training pool stays clean because the malicious "
+        "class is tiny — see EXPERIMENTS.md, honest-deviation note 2."
+    )
+
+
+if __name__ == "__main__":
+    main()

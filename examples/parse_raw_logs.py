@@ -1,0 +1,89 @@
+"""From raw log lines to a trained detector.
+
+Real deployments start from raw logs, not token ids.  This example
+synthesises OpenStack-style raw log lines (with instance ids, hosts and
+timings that vary line to line), mines log templates with the built-in
+Drain-style miner, assembles sessions, and trains CLFD on heuristic
+labels — the complete ingestion path a downstream team would run.
+
+Run:  python examples/parse_raw_logs.py
+"""
+
+import numpy as np
+
+from repro import CLFD, CLFDConfig
+from repro.data import (
+    LogRecord,
+    apply_uniform_noise,
+    sessions_from_records,
+)
+from repro.metrics import evaluate_detector
+
+HEALTHY_FLOW = [
+    "nova api create instance {iid} flavor {n}",
+    "scheduler picked host 10.0.{n}.{m} for {iid}",
+    "nova compute spawning instance {iid} on host 10.0.{n}.{m}",
+    "instance {iid} became active after {n} seconds",
+    "nova api delete instance {iid}",
+    "instance {iid} terminated cleanly after {n} seconds",
+]
+
+CRASHLOOP_FLOW = [
+    "nova api create instance {iid} flavor {n}",
+    "scheduler picked host 10.0.{n}.{m} for {iid}",
+    "nova compute spawning instance {iid} on host 10.0.{n}.{m}",
+    "spawn failed for instance {iid} error {n}",
+    "retrying spawn for instance {iid} attempt {n}",
+    "spawn failed for instance {iid} error {n}",
+    "retrying spawn for instance {iid} attempt {n}",
+    "instance {iid} marked error after {n} retries",
+]
+
+
+def render(flow, iid, rng):
+    return [line.format(iid=iid, n=rng.integers(1, 99),
+                        m=rng.integers(1, 255)) for line in flow]
+
+
+def build_records(n_normal, n_bad, rng):
+    records = []
+    for i in range(n_normal + n_bad):
+        bad = i >= n_normal
+        iid = f"{'bad' if bad else 'vm'}-{i:04d}"
+        flow = CRASHLOOP_FLOW if bad else HEALTHY_FLOW
+        for message in render(flow, iid, rng):
+            records.append(LogRecord(entity=iid, message=message,
+                                     label=int(bad)))
+    return records
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    from repro.data import LogTemplateMiner
+
+    miner = LogTemplateMiner()
+    train = sessions_from_records(build_records(700, 35, rng), miner=miner)
+    # Test traffic is encoded against the FROZEN training templates, so
+    # the activity ids line up with the trained embeddings.
+    test = sessions_from_records(build_records(150, 25, rng), miner=miner,
+                                 grow=False)
+    print(f"mined {len(train.vocab) - 1} log templates from raw lines; "
+          f"{len(train)} train sessions")
+    for template in train.vocab.tokens()[1:5]:
+        print(f"  template: {template}")
+
+    apply_uniform_noise(train, eta=0.3, rng=rng)
+
+    model = CLFD(CLFDConfig.fast()).fit(train, rng=rng)
+    quality = model.correction_quality(train)
+    print(f"label corrector: TPR={quality['tpr']:.1f}% "
+          f"TNR={quality['tnr']:.1f}%")
+
+    labels, scores = model.predict(test)
+    metrics = evaluate_detector(test.labels(), labels, scores)
+    print(", ".join(f"{k}={v:.1f}%" for k, v in metrics.items()))
+
+
+if __name__ == "__main__":
+    main()

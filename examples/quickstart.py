@@ -1,0 +1,47 @@
+"""Quickstart: train CLFD on a noisy insider-threat benchmark.
+
+Generates a CERT-like session dataset, corrupts 30% of the training
+labels, trains the full CLFD pipeline and prints test metrics next to
+the label corrector's quality.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CLFD, CLFDConfig
+from repro.data import apply_uniform_noise, empirical_noise_rates, make_dataset
+from repro.metrics import evaluate_detector
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. Build a train/test split shaped like the paper's CERT setup
+    #    (extreme imbalance; scale=0.1 keeps the demo fast on a laptop).
+    train, test = make_dataset("cert", rng, scale=0.1)
+    normal, malicious = train.class_counts()
+    print(f"train: {normal} normal / {malicious} malicious sessions")
+
+    # 2. Simulate heuristic annotation: flip 30% of the training labels.
+    apply_uniform_noise(train, eta=0.3, rng=rng)
+    rates = empirical_noise_rates(train)
+    print(f"injected noise: eta={rates['eta']:.2f}")
+
+    # 3. Train the full CLFD framework (label corrector + fraud detector).
+    model = CLFD(CLFDConfig.fast()).fit(train, rng=rng)
+
+    # 4. How much did the label corrector clean up?
+    quality = model.correction_quality(train)
+    print(f"label corrector: TPR={quality['tpr']:.1f}% "
+          f"TNR={quality['tnr']:.1f}%")
+
+    # 5. Detect frauds in the held-out test set.
+    labels, scores = model.predict(test)
+    metrics = evaluate_detector(test.labels(), labels, scores)
+    print(f"test: F1={metrics['f1']:.1f}% FPR={metrics['fpr']:.1f}% "
+          f"AUC-ROC={metrics['auc_roc']:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

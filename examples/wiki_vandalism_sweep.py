@@ -1,0 +1,44 @@
+"""Wikipedia-vandalism scenario: how performance decays with noise rate.
+
+Sweeps the uniform noise rate η over the paper's grid on the
+UMD-Wikipedia-like benchmark and prints CLFD's degradation curve next
+to a noise-agnostic baseline (Few-Shot).  The reproduction target is the
+*shape*: CLFD should decay gracefully while the baseline collapses.
+
+Run:  python examples/wiki_vandalism_sweep.py
+"""
+
+import numpy as np
+
+from repro import CLFD, CLFDConfig
+from repro.baselines import BaselineConfig, FewShotModel
+from repro.data import apply_uniform_noise, make_dataset
+from repro.metrics import evaluate_detector
+
+
+def evaluate(model_factory, eta, seed=3):
+    rng = np.random.default_rng(seed)
+    train, test = make_dataset("umd-wikipedia", rng, scale=0.1)
+    apply_uniform_noise(train, eta=eta, rng=rng)
+    model = model_factory()
+    model.fit(train, rng=np.random.default_rng(seed))
+    labels, scores = model.predict(test)
+    return evaluate_detector(test.labels(), labels, scores)
+
+
+def main():
+    etas = (0.1, 0.2, 0.3, 0.45)
+    print(f"{'eta':>5s} | {'CLFD F1':>8s} {'CLFD AUC':>9s} | "
+          f"{'Few-Shot F1':>11s} {'Few-Shot AUC':>12s}")
+    print("-" * 56)
+    for eta in etas:
+        clfd = evaluate(lambda: CLFD(CLFDConfig.fast()), eta)
+        few = evaluate(lambda: FewShotModel(BaselineConfig(epochs=10)), eta)
+        print(f"{eta:5.2f} | {clfd['f1']:8.1f} {clfd['auc_roc']:9.1f} | "
+              f"{few['f1']:11.1f} {few['auc_roc']:12.1f}")
+    print("\nExpected shape (paper Table I, UMD-Wikipedia): CLFD F1 "
+          "75→53 across the sweep while Few-Shot falls to ≈36.")
+
+
+if __name__ == "__main__":
+    main()

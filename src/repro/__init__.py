@@ -1,0 +1,28 @@
+"""CLFD: Contrastive Learning for Fraud Detection from Noisy Labels.
+
+A from-scratch reproduction of the ICDE 2024 paper by Vinay M.S.,
+Shuhan Yuan and Xintao Wu — including the NumPy neural-network substrate
+(:mod:`repro.nn`), synthetic session benchmarks (:mod:`repro.data`), the
+CLFD framework (:mod:`repro.core`), eight baselines
+(:mod:`repro.baselines`) and the experiment harness
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    import numpy as np
+    from repro import CLFD, CLFDConfig
+    from repro.data import make_dataset, apply_uniform_noise
+
+    rng = np.random.default_rng(0)
+    train, test = make_dataset("cert", rng, scale=0.05)
+    apply_uniform_noise(train, eta=0.3, rng=rng)
+    model = CLFD(CLFDConfig.fast()).fit(train, rng=rng)
+    labels, scores = model.predict(test)
+"""
+
+from .core import CLFD, CLFDConfig, FraudDetector, LabelCorrector
+
+__version__ = "1.0.0"
+
+__all__ = ["CLFD", "CLFDConfig", "LabelCorrector", "FraudDetector",
+           "__version__"]

@@ -1,0 +1,26 @@
+"""Diagnostics: representation geometry and confidence calibration."""
+
+from .calibration import (
+    confidence_threshold_sweep,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .plots import ascii_bars, ascii_curve, ascii_roc
+from .representation import (
+    RepresentationReport,
+    centroid_separability,
+    cosine_separation_gap,
+    knn_label_purity,
+    pca_project,
+    representation_report,
+    silhouette_score,
+)
+
+__all__ = [
+    "RepresentationReport", "representation_report",
+    "cosine_separation_gap", "silhouette_score", "knn_label_purity",
+    "centroid_separability", "pca_project",
+    "reliability_curve", "expected_calibration_error",
+    "confidence_threshold_sweep",
+    "ascii_curve", "ascii_bars", "ascii_roc",
+]

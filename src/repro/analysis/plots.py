@@ -1,0 +1,79 @@
+"""Terminal plots: render curves and bars as ASCII.
+
+The experiment harness targets headless/CI environments, so quick
+visual checks (noise-decay curves, ROC curves, loss histories) are
+rendered as text rather than through a plotting stack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ascii_curve", "ascii_bars", "ascii_roc"]
+
+
+def ascii_curve(xs, ys, width: int = 60, height: int = 12,
+                title: str = "", y_label: str = "") -> str:
+    """Plot one curve: ``ys`` over ``xs`` on a character grid."""
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape or xs.ndim != 1 or xs.size < 2:
+        raise ValueError("xs and ys must be equal-length 1-D with >= 2 points")
+    if width < 8 or height < 3:
+        raise ValueError("width must be >= 8 and height >= 3")
+
+    lo, hi = float(ys.min()), float(ys.max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    for x, y in zip(xs, ys):
+        col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = int(round((hi - y) / (hi - lo) * (height - 1)))
+        grid[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{hi:8.2f} "
+        elif i == height - 1:
+            label = f"{lo:8.2f} "
+        else:
+            label = " " * 9
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + f"{x_lo:<.3g}" + " " * (width - 12)
+                 + f"{x_hi:>.3g}")
+    if y_label:
+        lines.append(f"({y_label})")
+    return "\n".join(lines)
+
+
+def ascii_bars(labels, values, width: int = 40, title: str = "") -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    values = np.asarray(list(values), dtype=np.float64)
+    labels = [str(label) for label in labels]
+    if len(labels) != values.size or values.size == 0:
+        raise ValueError("labels and values must be equal-length, non-empty")
+    if (values < 0).any():
+        raise ValueError("bar values must be non-negative")
+    peak = values.max() if values.max() > 0 else 1.0
+    name_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * int(round(value / peak * width))
+        lines.append(f"{label:>{name_width}s} |{bar} {value:.1f}")
+    return "\n".join(lines)
+
+
+def ascii_roc(y_true, scores, width: int = 40, height: int = 12) -> str:
+    """Render the ROC curve of a scored detector as ASCII."""
+    from ..metrics import auc_roc, roc_curve
+
+    fpr, tpr = roc_curve(y_true, scores)
+    plot = ascii_curve(fpr, tpr, width=width, height=height,
+                       title=f"ROC (AUC = {auc_roc(y_true, scores):.1f}%)",
+                       y_label="TPR over FPR")
+    return plot

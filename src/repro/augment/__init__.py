@@ -1,0 +1,9 @@
+"""Data augmentation: session reordering (SimCLR views) and mixup."""
+
+from .mixup import MixupBatch, mix_representations, sample_mixup
+from .reorder import reorder_ids, reorder_session
+
+__all__ = [
+    "reorder_session", "reorder_ids",
+    "MixupBatch", "sample_mixup", "mix_representations",
+]

@@ -1,0 +1,123 @@
+"""Shared infrastructure for the eight baselines of §IV-A3.
+
+Every baseline implements ``fit(train, rng)`` and
+``predict(test) -> (labels, scores)``, mirroring :class:`repro.core.CLFD`,
+so the experiment harness can treat all models uniformly.
+
+The paper adapts each baseline to sessions by replacing its image
+network with a two-hidden-layer LSTM session encoder (§IV-A3); the
+:class:`EncoderClassifier` building block below is that adaptation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from .. import nn
+from ..core.encoder import SessionEncoder, SoftmaxClassifier
+from ..data.pipeline import SessionVectorizer
+from ..data.sessions import SessionDataset, iter_batches
+from ..data.word2vec import Word2VecConfig
+
+__all__ = ["BaselineConfig", "BaselineModel", "EncoderClassifier"]
+
+
+@dataclasses.dataclass
+class BaselineConfig:
+    """Hyper-parameters shared across baselines (mirrors CLFDConfig)."""
+
+    embedding_dim: int = 16
+    hidden_size: int = 24
+    lstm_layers: int = 2
+    batch_size: int = 64
+    lr: float = 0.005
+    epochs: int = 10
+    grad_clip: float = 5.0
+    word2vec: Word2VecConfig | None = None
+
+    def __post_init__(self):
+        if self.word2vec is None:
+            self.word2vec = Word2VecConfig(dim=self.embedding_dim, epochs=2)
+        if self.word2vec.dim != self.embedding_dim:
+            raise ValueError("word2vec.dim must equal embedding_dim")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+
+
+class BaselineModel:
+    """Abstract baseline: fit on noisy labels, predict labels + scores."""
+
+    name = "baseline"
+
+    def __init__(self, config: BaselineConfig | None = None):
+        self.config = config or BaselineConfig()
+        self.vectorizer: SessionVectorizer | None = None
+        self._fitted = False
+
+    def fit(self, train: SessionDataset,
+            rng: np.random.Generator | None = None) -> "BaselineModel":
+        rng = rng or np.random.default_rng(0)
+        self.vectorizer = SessionVectorizer.fit(
+            train, config=self.config.word2vec, rng=rng
+        )
+        self._fit(train, rng)
+        self._fitted = True
+        return self
+
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__}.fit must be called first")
+        return self._predict(dataset)
+
+    # Subclass hooks -----------------------------------------------------
+    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+        raise NotImplementedError
+
+    def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class EncoderClassifier(nn.Module):
+    """LSTM session encoder + FCNN head trained end to end.
+
+    The §IV-A3 adaptation applied to the image-domain baselines: their
+    ResNets are replaced by this sequence model.
+    """
+
+    def __init__(self, config: BaselineConfig, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = SessionEncoder(config.embedding_dim, config.hidden_size,
+                                      rng, num_layers=config.lstm_layers)
+        self.head = SoftmaxClassifier(config.hidden_size, rng)
+
+    def forward(self, x, lengths=None) -> nn.Tensor:
+        """Logits for a batch of embedded sessions."""
+        return self.head(self.encoder(x, lengths))
+
+    def probs(self, x, lengths=None) -> nn.Tensor:
+        return nn.softmax(self.forward(x, lengths), axis=-1)
+
+    def predict_dataset(self, dataset: SessionDataset,
+                        vectorizer: SessionVectorizer,
+                        batch_size: int = 256) -> tuple[np.ndarray, np.ndarray]:
+        """Label + malicious-score inference over a whole dataset."""
+        all_probs = []
+        for batch in iter_batches(dataset, batch_size):
+            x, lengths = vectorizer.transform(dataset, indices=batch)
+            with nn.no_grad():
+                all_probs.append(self.probs(x, lengths).data)
+        probs = np.concatenate(all_probs, axis=0)
+        return probs.argmax(axis=1), probs[:, 1]
+
+    def probs_dataset(self, dataset: SessionDataset,
+                      vectorizer: SessionVectorizer,
+                      batch_size: int = 256) -> np.ndarray:
+        """Softmax probabilities for every session (no grad)."""
+        all_probs = []
+        for batch in iter_batches(dataset, batch_size):
+            x, lengths = vectorizer.transform(dataset, indices=batch)
+            with nn.no_grad():
+                all_probs.append(self.probs(x, lengths).data)
+        return np.concatenate(all_probs, axis=0)

@@ -1,0 +1,55 @@
+"""CLDet baseline (Vinay et al. [3]).
+
+Self-supervised SimCLR pre-training of an LSTM session encoder with the
+session-reordering augmentation, followed by a classifier head trained
+with plain (noise-sensitive) cross-entropy on the noisy labels.
+
+This is exactly the framework CLFD's label corrector adapts — the
+corrector's single change is swapping the cross-entropy head loss for
+mixup-GCE — so the implementation reuses :class:`repro.core.LabelCorrector`
+with ``classifier_loss="cce"``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import CLFDConfig
+from ..core.label_corrector import LabelCorrector
+from ..data.sessions import SessionDataset
+from .base import BaselineConfig, BaselineModel
+
+__all__ = ["CLDetModel"]
+
+
+class CLDetModel(BaselineModel):
+    """SimCLR pre-training + cross-entropy classifier (noise-agnostic)."""
+
+    name = "CLDet"
+
+    def __init__(self, config: BaselineConfig | None = None,
+                 ssl_epochs: int = 4, classifier_epochs: int = 100):
+        super().__init__(config)
+        self.ssl_epochs = ssl_epochs
+        self.classifier_epochs = classifier_epochs
+        self._corrector: LabelCorrector | None = None
+
+    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+        config = self.config
+        clfd_config = CLFDConfig(
+            embedding_dim=config.embedding_dim,
+            hidden_size=config.hidden_size,
+            lstm_layers=config.lstm_layers,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            ssl_epochs=self.ssl_epochs,
+            classifier_epochs=self.classifier_epochs,
+            grad_clip=config.grad_clip,
+            word2vec=config.word2vec,
+            classifier_loss="cce",  # CLDet's original, noise-sensitive loss
+        )
+        self._corrector = LabelCorrector(clfd_config, self.vectorizer, rng)
+        self._corrector.fit(train)
+
+    def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        return self._corrector.predict(dataset)

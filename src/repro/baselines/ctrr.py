@@ -1,0 +1,72 @@
+"""CTRR baseline — contrastive regularization (Yi et al. [9]).
+
+CTRR trains the encoder and classifier jointly: a cross-entropy term on
+the noisy labels plus a *contrastive regularization* that pulls together
+representations of sample pairs the model currently predicts into the
+same class with high confidence.  The regularizer limits how much label
+noise can dominate representation learning, but (as with Sel-CL) its
+confident-pair selection relies on sample similarity, which session
+diversity undermines on fraud data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.sessions import SessionDataset, iter_batches
+from ..losses import sup_con_loss
+from .base import BaselineConfig, BaselineModel, EncoderClassifier
+
+__all__ = ["CTRRModel"]
+
+
+class CTRRModel(BaselineModel):
+    """Joint CE + confident-pair contrastive regularization."""
+
+    name = "CTRR"
+
+    def __init__(self, config: BaselineConfig | None = None,
+                 reg_weight: float = 1.0, confidence: float = 0.8,
+                 temperature: float = 1.0):
+        super().__init__(config)
+        self.reg_weight = reg_weight
+        self.confidence = confidence
+        self.temperature = temperature
+        self.net: EncoderClassifier | None = None
+
+    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+        config = self.config
+        self.net = EncoderClassifier(config, rng)
+        optimizer = nn.Adam(self.net.parameters(), lr=config.lr)
+        noisy = train.noisy_labels()
+        for _ in range(config.epochs):
+            for batch in iter_batches(train, config.batch_size, rng):
+                if batch.size < 2:
+                    continue
+                x, lengths = self.vectorizer.transform(train, indices=batch)
+                z = self.net.encoder(x, lengths)
+                logits = self.net.head(z)
+                loss = nn.cross_entropy(logits, noisy[batch])
+
+                # Contrastive regularization over confident predictions:
+                # pairs predicted into the same class with confidence
+                # above the threshold are pulled together.
+                with nn.no_grad():
+                    probs = nn.softmax(logits, axis=-1).data
+                pred = probs.argmax(axis=1)
+                conf = probs.max(axis=1)
+                confident = conf > self.confidence
+                if confident.sum() >= 2 and len(np.unique(pred[confident])) >= 1:
+                    reg = sup_con_loss(
+                        z[np.flatnonzero(confident)], pred[confident],
+                        temperature=self.temperature, variant="unweighted",
+                    )
+                    loss = loss + reg * self.reg_weight
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.net.parameters(), config.grad_clip)
+                optimizer.step()
+
+    def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        return self.net.predict_dataset(dataset, self.vectorizer)

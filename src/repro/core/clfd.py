@@ -1,0 +1,95 @@
+"""The CLFD facade: label corrector + fraud detector end to end.
+
+Usage::
+
+    config = CLFDConfig.fast()
+    model = CLFD(config)
+    model.fit(noisy_train, rng=np.random.default_rng(0))
+    labels, scores = model.predict(test)
+
+Ablations are configured through :class:`CLFDConfig` switches; see its
+docstring for the Table IV/V mapping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.pipeline import SessionVectorizer
+from ..data.sessions import SessionDataset
+from .config import CLFDConfig
+from .fraud_detector import FraudDetector
+from .label_corrector import LabelCorrector
+
+__all__ = ["CLFD"]
+
+
+class CLFD:
+    """Contrastive Learning based Fraud Detection (the paper's framework)."""
+
+    def __init__(self, config: CLFDConfig | None = None):
+        self.config = config or CLFDConfig()
+        self.vectorizer: SessionVectorizer | None = None
+        self.label_corrector: LabelCorrector | None = None
+        self.fraud_detector: FraudDetector | None = None
+        self.corrected_labels: np.ndarray | None = None
+        self.confidences: np.ndarray | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, train: SessionDataset,
+            rng: np.random.Generator | None = None) -> "CLFD":
+        """Train on a noisy training set (``Session.noisy_label`` is used).
+
+        Pipeline: word2vec activity embeddings → label corrector →
+        corrected labels + confidences → fraud detector (Algorithm 1).
+        Ablation switches in the config prune stages accordingly.
+        """
+        rng = rng or np.random.default_rng(0)
+        config = self.config
+        self.vectorizer = SessionVectorizer.fit(
+            train, config=config.word2vec, rng=rng
+        )
+
+        if config.use_label_corrector:
+            self.label_corrector = LabelCorrector(config, self.vectorizer, rng)
+            self.label_corrector.fit(train)
+            labels, confidences = self.label_corrector.correct(train)
+        else:
+            # "w/o LC": train the detector directly on the noisy labels
+            # with unit confidences (vanilla supervised contrastive loss).
+            labels = train.noisy_labels()
+            confidences = np.ones(len(train))
+
+        self.corrected_labels = labels
+        self.confidences = confidences
+
+        if config.use_fraud_detector:
+            self.fraud_detector = FraudDetector(config, self.vectorizer, rng)
+            self.fraud_detector.fit(train, labels, confidences)
+        elif not config.use_label_corrector:
+            raise ValueError(
+                "at least one of use_label_corrector/use_fraud_detector "
+                "must be enabled"
+            )
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Classify sessions: returns (predicted labels, malicious scores)."""
+        if not self._fitted:
+            raise RuntimeError("CLFD.fit must be called first")
+        if self.config.use_fraud_detector:
+            return self.fraud_detector.predict(dataset)
+        # "w/o FD": the trained label corrector performs inference.
+        return self.label_corrector.predict(dataset)
+
+    def correction_quality(self, train: SessionDataset) -> dict[str, float]:
+        """Table III metrics: TPR/TNR of corrected labels vs ground truth."""
+        from ..metrics import true_rates
+
+        if self.corrected_labels is None:
+            raise RuntimeError("CLFD.fit must be called first")
+        tpr, tnr = true_rates(train.labels(), self.corrected_labels)
+        return {"tpr": tpr, "tnr": tnr}

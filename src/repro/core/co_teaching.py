@@ -1,0 +1,123 @@
+"""Co-teaching label correction (the paper's third future-work item).
+
+§V: *"We will also explore benefits of integrating supervised
+contrastive learning model with co-teaching based noisy label learning
+approaches."*
+
+:class:`CoTeachingCorrector` trains two independently-seeded label
+correctors and fuses their outputs:
+
+* **agreement** sessions (both correctors assign the same label) get
+  that label with the *product-rule* confidence;
+* **disagreement** sessions keep the label of the more confident
+  corrector, with its confidence discounted by the disagreement.
+
+The fused corrector plugs into :class:`~repro.core.CLFD` via
+:meth:`clfd_with_co_teaching`, keeping the rest of Algorithm 1 intact —
+exactly the integration the future-work sentence sketches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.pipeline import SessionVectorizer
+from ..data.sessions import SessionDataset
+from .config import CLFDConfig
+from .fraud_detector import FraudDetector
+from .label_corrector import LabelCorrector
+
+__all__ = ["CoTeachingCorrector", "CoTeachingCLFD"]
+
+
+class CoTeachingCorrector:
+    """Two label correctors cross-checking each other's corrections."""
+
+    def __init__(self, config: CLFDConfig, vectorizer: SessionVectorizer,
+                 rng: np.random.Generator):
+        seeds = rng.integers(0, 2 ** 31, size=2)
+        self.correctors = [
+            LabelCorrector(config, vectorizer, np.random.default_rng(seed))
+            for seed in seeds
+        ]
+        self._fitted = False
+
+    def fit(self, train: SessionDataset) -> "CoTeachingCorrector":
+        for corrector in self.correctors:
+            corrector.fit(train)
+        self._fitted = True
+        return self
+
+    def correct(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Fused (labels, confidences) from both correctors."""
+        if not self._fitted:
+            raise RuntimeError("CoTeachingCorrector.fit must be called first")
+        (labels_a, conf_a), (labels_b, conf_b) = (
+            corrector.correct(dataset) for corrector in self.correctors
+        )
+        agree = labels_a == labels_b
+        labels = np.where(agree, labels_a,
+                          np.where(conf_a >= conf_b, labels_a, labels_b))
+        # Agreement: both correctors vouch — combine by the product rule
+        # renormalised over the two classes.
+        p_both = conf_a * conf_b
+        p_neither = (1 - conf_a) * (1 - conf_b)
+        agree_conf = p_both / np.maximum(p_both + p_neither, 1e-12)
+        # Disagreement: trust the stronger view, discounted toward 0.5.
+        disagree_conf = 0.5 + np.abs(conf_a - conf_b) / 2.0
+        confidences = np.where(agree, agree_conf, disagree_conf)
+        return labels.astype(np.int64), confidences
+
+    def agreement_rate(self, dataset: SessionDataset) -> float:
+        """Fraction of sessions the two correctors agree on."""
+        (labels_a, _), (labels_b, _) = (
+            corrector.correct(dataset) for corrector in self.correctors
+        )
+        return float((labels_a == labels_b).mean())
+
+
+class CoTeachingCLFD:
+    """CLFD with the co-teaching corrector in place of the single one.
+
+    API-compatible with :class:`~repro.core.CLFD` for fit/predict/
+    correction_quality, so the experiment harness and benches can use it
+    as a drop-in ablation of the future-work idea.
+    """
+
+    def __init__(self, config: CLFDConfig | None = None):
+        self.config = config or CLFDConfig()
+        self.vectorizer: SessionVectorizer | None = None
+        self.corrector: CoTeachingCorrector | None = None
+        self.fraud_detector: FraudDetector | None = None
+        self.corrected_labels: np.ndarray | None = None
+        self.confidences: np.ndarray | None = None
+        self._fitted = False
+
+    def fit(self, train: SessionDataset,
+            rng: np.random.Generator | None = None) -> "CoTeachingCLFD":
+        rng = rng or np.random.default_rng(0)
+        self.vectorizer = SessionVectorizer.fit(
+            train, config=self.config.word2vec, rng=rng
+        )
+        self.corrector = CoTeachingCorrector(self.config, self.vectorizer, rng)
+        self.corrector.fit(train)
+        labels, confidences = self.corrector.correct(train)
+        self.corrected_labels = labels
+        self.confidences = confidences
+        self.fraud_detector = FraudDetector(self.config, self.vectorizer, rng)
+        self.fraud_detector.fit(train, labels, confidences)
+        self._fitted = True
+        return self
+
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        if not self._fitted:
+            raise RuntimeError("CoTeachingCLFD.fit must be called first")
+        return self.fraud_detector.predict(dataset)
+
+    def correction_quality(self, train: SessionDataset) -> dict[str, float]:
+        from ..metrics import true_rates
+
+        if self.corrected_labels is None:
+            raise RuntimeError("CoTeachingCLFD.fit must be called first")
+        tpr, tnr = true_rates(train.labels(), self.corrected_labels)
+        return {"tpr": tpr, "tnr": tnr}

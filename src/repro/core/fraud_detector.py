@@ -1,0 +1,165 @@
+"""CLFD's fraud detector (§III-B, Algorithm 1).
+
+Stage 1 — *supervised pre-training*: a fresh LSTM session encoder is
+trained with the confidence-weighted supervised contrastive loss
+(Eq. 5–6).  Every batch S of R sessions is joined by an auxiliary batch
+S¹ of M corrected-malicious sessions so the minority class is always
+represented among the contrast candidates.
+
+Stage 2 — *mixup-based classifier training*: a two-layer FCNN is trained
+with mixup-GCE over the frozen encoded representations, supervised by
+the corrected labels.  The FCNN performs test-time inference; a
+centroid-proximity alternative implements the "w/o classifier" ablation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..data.pipeline import SessionVectorizer
+from ..data.sessions import MALICIOUS, NORMAL, SessionDataset, iter_batches
+from ..losses import sup_con_loss
+from .config import CLFDConfig
+from .encoder import SessionEncoder, SoftmaxClassifier
+from .training import train_classifier_head
+
+__all__ = ["FraudDetector"]
+
+
+class FraudDetector:
+    """Weighted sup-con encoder + mixup-GCE FCNN (Algorithm 1)."""
+
+    def __init__(self, config: CLFDConfig, vectorizer: SessionVectorizer,
+                 rng: np.random.Generator):
+        self.config = config
+        self.vectorizer = vectorizer
+        self._rng = rng
+        self.encoder = SessionEncoder(config.embedding_dim, config.hidden_size,
+                                      rng, num_layers=config.lstm_layers,
+                                      cell=config.encoder_cell,
+                                      pooling=config.pooling)
+        self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
+        self.supcon_loss_history: list[float] = []
+        self.classifier_loss_history: list[float] = []
+        self.centroids: np.ndarray | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, train: SessionDataset, corrected_labels: np.ndarray,
+            confidences: np.ndarray) -> "FraudDetector":
+        """Run Algorithm 1 given the label corrector's outputs."""
+        corrected_labels = np.asarray(corrected_labels, dtype=np.int64)
+        confidences = np.asarray(confidences, dtype=np.float64)
+        if corrected_labels.shape != (len(train),):
+            raise ValueError("corrected_labels must cover the training set")
+        if confidences.shape != (len(train),):
+            raise ValueError("confidences must cover the training set")
+
+        self._pretrain_supcon(train, corrected_labels, confidences)
+        features = self._encode_dataset(train)
+        self.classifier_loss_history = train_classifier_head(
+            self.classifier, features, corrected_labels, self._rng,
+            loss=self.config.classifier_loss, q=self.config.q,
+            beta=self.config.mixup_beta,
+            epochs=self.config.classifier_epochs,
+            batch_size=self.config.batch_size, lr=self.config.lr,
+            grad_clip=self.config.grad_clip,
+        )
+        self._fit_centroids(features, corrected_labels)
+        self._fitted = True
+        return self
+
+    def _pretrain_supcon(self, train: SessionDataset,
+                         labels: np.ndarray, confidences: np.ndarray) -> None:
+        config = self.config
+        optimizer = nn.Adam(self.encoder.parameters(), lr=config.lr)
+        malicious_pool = np.flatnonzero(labels == MALICIOUS)
+        for _ in range(config.supcon_epochs):
+            epoch_losses: list[float] = []
+            for batch in iter_batches(train, config.batch_size, self._rng):
+                if batch.size < 2:
+                    continue
+                rows = batch
+                if malicious_pool.size:
+                    aux = self._rng.choice(
+                        malicious_pool,
+                        size=min(config.aux_batch_size, malicious_pool.size),
+                        replace=False,
+                    )
+                    rows = np.concatenate([batch, aux])
+                x, lengths = self.vectorizer.transform(train, indices=rows)
+                z = self.encoder(x, lengths)
+                loss = sup_con_loss(
+                    z, labels[rows], temperature=config.temperature,
+                    confidences=confidences[rows],
+                    num_anchors=batch.size,
+                    variant=config.supcon_variant,
+                    threshold=config.filter_threshold,
+                )
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.encoder.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.supcon_loss_history.append(
+                float(np.mean(epoch_losses)) if epoch_losses else 0.0
+            )
+
+    def _fit_centroids(self, features: np.ndarray,
+                       labels: np.ndarray) -> None:
+        """Class centers in representation space ("w/o classifier" path)."""
+        centroids = np.zeros((2, features.shape[1]))
+        for cls in (NORMAL, MALICIOUS):
+            members = features[labels == cls]
+            if members.size:
+                centroids[cls] = members.mean(axis=0)
+        self.centroids = centroids
+
+    def _encode_dataset(self, dataset: SessionDataset) -> np.ndarray:
+        outputs = []
+        for batch in iter_batches(dataset, self.config.batch_size):
+            x, lengths = self.vectorizer.transform(dataset, indices=batch)
+            outputs.append(self.encoder.encode_numpy(x, lengths))
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Classify test sessions: returns (labels, malicious scores)."""
+        self._require_fitted()
+        features = self._encode_dataset(dataset)
+        if self.config.inference == "centroid":
+            return self._predict_centroid(features)
+        with nn.no_grad():
+            probs = self.classifier.probs(features).data
+        return probs.argmax(axis=1), probs[:, 1]
+
+    def _predict_centroid(self, features: np.ndarray,
+                          ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-centroid inference ([4], "w/o classifier" ablation).
+
+        The malicious score is the softmin over the two centroid
+        distances, so it behaves like a probability for AUC purposes.
+        """
+        if self.centroids is None:
+            raise RuntimeError("centroids unavailable; call fit first")
+        dists = np.linalg.norm(
+            features[:, None, :] - self.centroids[None, :, :], axis=2
+        )
+        labels = dists.argmin(axis=1)
+        gap = dists[:, 0] - dists[:, 1]  # >0 when closer to malicious
+        scores = 1.0 / (1.0 + np.exp(-gap))
+        return labels, scores
+
+    def encode(self, dataset: SessionDataset) -> np.ndarray:
+        """Expose encoded representations (used by analyses/examples)."""
+        self._require_fitted()
+        return self._encode_dataset(dataset)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("FraudDetector.fit must be called first")

@@ -1,0 +1,144 @@
+"""CLFD's label corrector (§III-A): CLDet adapted with mixup-GCE.
+
+Two stages:
+
+1. **Self-supervised pre-training** — an LSTM session encoder trained
+   with the SimCLR NT-Xent loss over session-reordering augmentations.
+   Because this stage never reads labels, the learned representations
+   are unaffected by label noise.
+2. **Noise-robust classification** — a two-layer FCNN trained on the
+   frozen representations with the mixup-GCE loss (the paper's change
+   versus CLDet, whose classifier used plain cross-entropy).
+
+After training, :meth:`correct` re-labels every training session and
+reports a confidence ``cᵢ = max(f₀(vᵢ), f₁(vᵢ))`` used to weight the
+fraud detector's supervised contrastive loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..augment import reorder_ids
+from ..data.pipeline import SessionVectorizer
+from ..data.sessions import SessionDataset, iter_batches
+from ..losses import nt_xent_loss
+from .config import CLFDConfig
+from .encoder import SessionEncoder, SoftmaxClassifier
+from .training import train_classifier_head
+
+__all__ = ["LabelCorrector"]
+
+
+class LabelCorrector:
+    """Self-supervised pre-training + mixup-GCE classifier."""
+
+    def __init__(self, config: CLFDConfig, vectorizer: SessionVectorizer,
+                 rng: np.random.Generator):
+        self.config = config
+        self.vectorizer = vectorizer
+        self._rng = rng
+        self.encoder = SessionEncoder(config.embedding_dim, config.hidden_size,
+                                      rng, num_layers=config.lstm_layers,
+                                      cell=config.encoder_cell,
+                                      pooling=config.pooling)
+        self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
+        self.ssl_loss_history: list[float] = []
+        self.classifier_loss_history: list[float] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, train: SessionDataset) -> "LabelCorrector":
+        """Run both training stages on the noisy training set."""
+        self._pretrain_ssl(train)
+        features = self._encode_dataset(train)
+        self.classifier_loss_history = train_classifier_head(
+            self.classifier, features, train.noisy_labels(), self._rng,
+            loss=self.config.classifier_loss, q=self.config.q,
+            beta=self.config.mixup_beta,
+            epochs=self.config.classifier_epochs,
+            batch_size=self.config.batch_size, lr=self.config.lr,
+            grad_clip=self.config.grad_clip,
+        )
+        self._fitted = True
+        return self
+
+    def _pretrain_ssl(self, train: SessionDataset) -> None:
+        """SimCLR pre-training with session-reordering views."""
+        config = self.config
+        optimizer = nn.Adam(self.encoder.parameters(), lr=config.lr)
+        ids, lengths = self.vectorizer.transform_token_ids(train)
+        for _ in range(config.ssl_epochs):
+            epoch_losses: list[float] = []
+            for batch in iter_batches(train, config.batch_size, self._rng):
+                if batch.size < 2:
+                    continue
+                view_a = self._augmented_view(ids[batch], lengths[batch])
+                view_b = self._augmented_view(ids[batch], lengths[batch])
+                z_a = self.encoder(view_a, lengths[batch])
+                z_b = self.encoder(view_b, lengths[batch])
+                loss = nt_xent_loss(z_a, z_b, temperature=config.temperature)
+                optimizer.zero_grad()
+                loss.backward()
+                nn.clip_grad_norm(self.encoder.parameters(), config.grad_clip)
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            self.ssl_loss_history.append(
+                float(np.mean(epoch_losses)) if epoch_losses else 0.0
+            )
+
+    def _augmented_view(self, ids: np.ndarray,
+                        lengths: np.ndarray) -> np.ndarray:
+        """Embed a batch after session-reordering each row."""
+        augmented = np.empty_like(ids)
+        for row in range(ids.shape[0]):
+            augmented[row] = reorder_ids(
+                ids[row], self._rng, sub_len=self.config.reorder_sub_len,
+                length=int(lengths[row]),
+            )
+        return self.vectorizer.model.embed_ids(augmented)
+
+    def _encode_dataset(self, dataset: SessionDataset) -> np.ndarray:
+        """Frozen-encoder representations v_i for every session."""
+        outputs = []
+        for batch in iter_batches(dataset, self.config.batch_size):
+            x, lengths = self.vectorizer.transform(dataset, indices=batch)
+            outputs.append(self.encoder.encode_numpy(x, lengths))
+        return np.concatenate(outputs, axis=0)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def correct(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Return (corrected labels ŷ, confidences c) for every session."""
+        self._require_fitted()
+        features = self._encode_dataset(dataset)
+        with nn.no_grad():
+            probs = self.classifier.probs(features).data
+        return probs.argmax(axis=1), probs.max(axis=1)
+
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Test-time inference (used by the "w/o FD" ablation).
+
+        Returns (labels, malicious-class scores).
+        """
+        probs = self.predict_proba(dataset)
+        return probs.argmax(axis=1), probs[:, 1]
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Full softmax outputs [f₀(v), f₁(v)] for every session.
+
+        Needed by :mod:`repro.core.noise_rates` to derive per-session
+        flip posteriors.
+        """
+        self._require_fitted()
+        features = self._encode_dataset(dataset)
+        with nn.no_grad():
+            return self.classifier.probs(features).data
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError("LabelCorrector.fit must be called first")

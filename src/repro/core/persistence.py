@@ -1,0 +1,124 @@
+"""Save and load trained CLFD models.
+
+A fitted :class:`~repro.core.CLFD` bundles four learned artifacts — the
+word2vec embedding matrix, the corrector's encoder + head, and the
+detector's encoder + head (plus its class centroids) — along with the
+configuration needed to rebuild the module graph.  Everything is packed
+into a single ``.npz`` archive so a trained detector can be shipped to
+an inference service without the training data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from ..data.pipeline import SessionVectorizer
+from ..data.word2vec import SkipGramModel, Word2VecConfig
+from .clfd import CLFD
+from .config import CLFDConfig
+from .fraud_detector import FraudDetector
+from .label_corrector import LabelCorrector
+
+__all__ = ["save_clfd", "load_clfd"]
+
+_FORMAT_VERSION = 1
+
+
+def _flatten_state(prefix: str, state: dict[str, np.ndarray],
+                   out: dict[str, np.ndarray]) -> None:
+    for key, value in state.items():
+        out[f"{prefix}/{key}"] = value
+
+
+def _extract_state(prefix: str,
+                   archive: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    cut = len(prefix) + 1
+    return {key[cut:]: archive[key] for key in archive
+            if key.startswith(prefix + "/")}
+
+
+def save_clfd(model: CLFD, path: str | os.PathLike) -> None:
+    """Serialise a fitted CLFD model to ``path`` (npz)."""
+    if model.vectorizer is None:
+        raise ValueError("cannot save an unfitted CLFD model")
+    payload: dict[str, np.ndarray] = {}
+
+    config_dict = dataclasses.asdict(model.config)
+    config_dict["word2vec"] = dataclasses.asdict(model.config.word2vec)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": config_dict,
+        "max_len": model.vectorizer.max_len,
+        "has_corrector": model.label_corrector is not None,
+        "has_detector": model.fraud_detector is not None,
+    }
+    payload["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    payload["word2vec/vectors"] = model.vectorizer.model.vectors
+
+    if model.label_corrector is not None:
+        _flatten_state("corrector/encoder",
+                       model.label_corrector.encoder.state_dict(), payload)
+        _flatten_state("corrector/classifier",
+                       model.label_corrector.classifier.state_dict(), payload)
+    if model.fraud_detector is not None:
+        _flatten_state("detector/encoder",
+                       model.fraud_detector.encoder.state_dict(), payload)
+        _flatten_state("detector/classifier",
+                       model.fraud_detector.classifier.state_dict(), payload)
+        if model.fraud_detector.centroids is not None:
+            payload["detector/centroids"] = model.fraud_detector.centroids
+    np.savez(path, **payload)
+
+
+def load_clfd(path: str | os.PathLike) -> CLFD:
+    """Restore a CLFD model saved by :func:`save_clfd`.
+
+    The returned model is ready for :meth:`CLFD.predict`; training state
+    (corrected labels, loss histories) is not persisted.
+    """
+    with np.load(path) as archive:
+        data = {key: archive[key] for key in archive.files}
+
+    meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+    if meta["format_version"] != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported CLFD archive version {meta['format_version']}"
+        )
+    config_dict = dict(meta["config"])
+    config_dict["word2vec"] = Word2VecConfig(**config_dict["word2vec"])
+    config = CLFDConfig(**config_dict)
+
+    model = CLFD(config)
+    vectors = data["word2vec/vectors"]
+    model.vectorizer = SessionVectorizer(SkipGramModel(vectors),
+                                         max_len=int(meta["max_len"]))
+
+    # Module construction consumes RNG draws; the exact seed is
+    # irrelevant because every parameter is overwritten from the archive.
+    rng = np.random.default_rng(0)
+    if meta["has_corrector"]:
+        corrector = LabelCorrector(config, model.vectorizer, rng)
+        corrector.encoder.load_state_dict(
+            _extract_state("corrector/encoder", data))
+        corrector.classifier.load_state_dict(
+            _extract_state("corrector/classifier", data))
+        corrector._fitted = True
+        model.label_corrector = corrector
+    if meta["has_detector"]:
+        detector = FraudDetector(config, model.vectorizer, rng)
+        detector.encoder.load_state_dict(
+            _extract_state("detector/encoder", data))
+        detector.classifier.load_state_dict(
+            _extract_state("detector/classifier", data))
+        if "detector/centroids" in data:
+            detector.centroids = data["detector/centroids"]
+        detector._fitted = True
+        model.fraud_detector = detector
+    model._fitted = True
+    return model

@@ -1,0 +1,45 @@
+"""Session datasets: data model, synthetic benchmarks, noise, embeddings."""
+
+from .generators import (
+    DATASET_GENERATORS,
+    Archetype,
+    CertLikeGenerator,
+    OpenStackLikeGenerator,
+    SessionGenerator,
+    SplitSpec,
+    WikiLikeGenerator,
+    make_dataset,
+)
+from .logparse import (
+    LogRecord,
+    LogTemplateMiner,
+    parse_log_records,
+    read_csv_events,
+    sessions_from_records,
+)
+from .noise import (
+    apply_class_dependent_noise,
+    apply_instance_dependent_noise,
+    apply_uniform_noise,
+    empirical_noise_rates,
+    invert_noisy_labels,
+)
+from .pipeline import SessionVectorizer
+from .sessions import MALICIOUS, NORMAL, Session, SessionDataset, iter_batches
+from .vocab import PAD_TOKEN, Vocabulary
+from .word2vec import SkipGramModel, Word2VecConfig, train_word2vec
+
+__all__ = [
+    "NORMAL", "MALICIOUS", "Session", "SessionDataset", "iter_batches",
+    "PAD_TOKEN", "Vocabulary",
+    "Archetype", "SplitSpec", "SessionGenerator",
+    "CertLikeGenerator", "WikiLikeGenerator", "OpenStackLikeGenerator",
+    "DATASET_GENERATORS", "make_dataset",
+    "apply_uniform_noise", "apply_class_dependent_noise",
+    "apply_instance_dependent_noise",
+    "invert_noisy_labels", "empirical_noise_rates",
+    "Word2VecConfig", "SkipGramModel", "train_word2vec",
+    "SessionVectorizer",
+    "LogRecord", "LogTemplateMiner", "parse_log_records",
+    "sessions_from_records", "read_csv_events",
+]

@@ -1,0 +1,126 @@
+"""Label-noise processes from §III / §IV-A2 of the paper.
+
+Two noise models are supported, matching the experimental setup:
+
+* **uniform noise** — every ground-truth label flips with probability η;
+* **class-dependent noise** — malicious labels flip with probability η₁₀
+  (= P(ỹ=0 | y=1)) and normal labels flip with probability η₀₁
+  (= P(ỹ=1 | y=0)).
+
+Noise is applied to ``Session.noisy_label`` only; ground truth stays
+untouched for evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sessions import MALICIOUS, NORMAL, SessionDataset
+
+__all__ = [
+    "apply_uniform_noise",
+    "apply_class_dependent_noise",
+    "apply_instance_dependent_noise",
+    "invert_noisy_labels",
+    "empirical_noise_rates",
+]
+
+
+def _validate_rate(rate: float, name: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {rate}")
+
+
+def apply_uniform_noise(dataset: SessionDataset, eta: float,
+                        rng: np.random.Generator) -> np.ndarray:
+    """Flip each ground-truth label with probability ``eta``.
+
+    Returns a boolean mask of the sessions that were flipped.
+    The paper constrains η < 0.5 in experiments (§IV-A2) but the function
+    accepts the full range so that :func:`invert_noisy_labels` can be
+    exercised for η > 0.5.
+    """
+    _validate_rate(eta, "eta")
+    flips = rng.random(len(dataset)) < eta
+    noisy = dataset.labels().copy()
+    noisy[flips] = 1 - noisy[flips]
+    dataset.set_noisy_labels(noisy)
+    return flips
+
+
+def apply_class_dependent_noise(dataset: SessionDataset, eta_10: float,
+                                eta_01: float,
+                                rng: np.random.Generator) -> np.ndarray:
+    """Flip malicious labels w.p. ``eta_10`` and normal ones w.p. ``eta_01``."""
+    _validate_rate(eta_10, "eta_10")
+    _validate_rate(eta_01, "eta_01")
+    truth = dataset.labels()
+    draws = rng.random(len(dataset))
+    flips = np.where(truth == MALICIOUS, draws < eta_10, draws < eta_01)
+    noisy = truth.copy()
+    noisy[flips] = 1 - noisy[flips]
+    dataset.set_noisy_labels(noisy)
+    return flips
+
+
+def apply_instance_dependent_noise(dataset: SessionDataset, base_rate: float,
+                                   rng: np.random.Generator,
+                                   difficulty=None) -> np.ndarray:
+    """Flip labels with a per-session probability (future-work setting).
+
+    Real heuristic annotators err most on *ambiguous* sessions, not
+    uniformly: a velocity rule misses slow attackers and false-alarms on
+    unusual-but-benign users.  Each session's flip probability is
+    ``base_rate * difficulty(session)``, clipped to [0, 1].
+
+    ``difficulty`` maps a :class:`~repro.data.sessions.Session` to a
+    non-negative multiplier; the default uses session length as a proxy
+    (short sessions give heuristics little evidence): difficulty is
+    highest for the shortest sessions and decays toward 0.5 for long
+    ones.
+
+    Returns the boolean flip mask.
+    """
+    _validate_rate(base_rate, "base_rate")
+    if difficulty is None:
+        max_len = max(len(s) for s in dataset.sessions) or 1
+
+        def difficulty(session):
+            return 1.5 - len(session) / max_len  # in [0.5, 1.5)
+
+    probs = np.clip(
+        [base_rate * float(difficulty(s)) for s in dataset.sessions],
+        0.0, 1.0,
+    )
+    flips = rng.random(len(dataset)) < probs
+    noisy = dataset.labels().copy()
+    noisy[flips] = 1 - noisy[flips]
+    dataset.set_noisy_labels(noisy)
+    return flips
+
+
+def invert_noisy_labels(dataset: SessionDataset) -> None:
+    """Invert every noisy label.
+
+    §IV-A2: when the estimated noise rate exceeds 0.5, inverting the
+    labels brings the effective rate back under 0.5.
+    """
+    dataset.set_noisy_labels(1 - dataset.noisy_labels())
+
+
+def empirical_noise_rates(dataset: SessionDataset) -> dict[str, float]:
+    """Measure realised noise rates against ground truth.
+
+    Returns ``eta`` (overall flip fraction), ``eta_10`` and ``eta_01``.
+    Useful for verifying a noise injection and for tests.
+    """
+    truth = dataset.labels()
+    noisy = dataset.noisy_labels()
+    flipped = truth != noisy
+    malicious = truth == MALICIOUS
+    normal = truth == NORMAL
+    return {
+        "eta": float(flipped.mean()) if len(dataset) else 0.0,
+        "eta_10": float(flipped[malicious].mean()) if malicious.any() else 0.0,
+        "eta_01": float(flipped[normal].mean()) if normal.any() else 0.0,
+    }

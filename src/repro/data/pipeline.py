@@ -1,0 +1,66 @@
+"""Vectorization pipeline: sessions -> padded embedding arrays.
+
+Models in this repository consume ``(batch, time, dim)`` float arrays of
+word2vec activity embeddings (the paper's *raw representation* x_i) plus
+per-session lengths for mask-aware pooling.  :class:`SessionVectorizer`
+owns that transformation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .sessions import SessionDataset
+from .word2vec import SkipGramModel, Word2VecConfig, train_word2vec
+
+__all__ = ["SessionVectorizer"]
+
+
+class SessionVectorizer:
+    """Embeds sessions with a (trained or supplied) word2vec model.
+
+    Parameters
+    ----------
+    model: trained :class:`SkipGramModel`.  Use :meth:`fit` to train one
+        from a corpus in a single call.
+    max_len: pad/truncate length for every batch (the paper fixes T per
+        dataset; we default to the training corpus maximum).
+    """
+
+    def __init__(self, model: SkipGramModel, max_len: int):
+        if max_len < 1:
+            raise ValueError("max_len must be >= 1")
+        self.model = model
+        self.max_len = max_len
+
+    @classmethod
+    def fit(cls, corpus: SessionDataset,
+            config: Word2VecConfig | None = None,
+            rng: np.random.Generator | None = None) -> "SessionVectorizer":
+        """Train word2vec on ``corpus`` and return a ready vectorizer."""
+        model = train_word2vec(corpus, config=config, rng=rng)
+        return cls(model, max_len=corpus.max_length())
+
+    @property
+    def dim(self) -> int:
+        return self.model.dim
+
+    def transform(self, dataset: SessionDataset,
+                  indices: np.ndarray | None = None,
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(x, lengths)``: x is (n, max_len, dim) float64.
+
+        ``indices`` selects a batch subset without materialising a new
+        dataset object.
+        """
+        subset = dataset if indices is None else dataset[np.asarray(indices)]
+        ids, lengths = subset.padded_ids(self.max_len)
+        return self.model.embed_ids(ids), lengths
+
+    def transform_token_ids(self, dataset: SessionDataset,
+                            indices: np.ndarray | None = None,
+                            ) -> tuple[np.ndarray, np.ndarray]:
+        """Return raw padded ``(ids, lengths)`` for id-consuming models
+        (DeepLog / LogBert operate on log keys rather than embeddings)."""
+        subset = dataset if indices is None else dataset[np.asarray(indices)]
+        return subset.padded_ids(self.max_len)

@@ -1,0 +1,58 @@
+"""Activity vocabulary: maps activity names to integer ids.
+
+Id 0 is reserved for padding in every vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = ["PAD_TOKEN", "Vocabulary"]
+
+PAD_TOKEN = "<pad>"
+
+
+class Vocabulary:
+    """Bidirectional token <-> id mapping with a reserved padding slot."""
+
+    def __init__(self, tokens: Iterable[str] = ()):
+        self._token_to_id: dict[str, int] = {PAD_TOKEN: 0}
+        self._id_to_token: list[str] = [PAD_TOKEN]
+        for token in tokens:
+            self.add(token)
+
+    def add(self, token: str) -> int:
+        """Register ``token`` (idempotent) and return its id."""
+        if token in self._token_to_id:
+            return self._token_to_id[token]
+        idx = len(self._id_to_token)
+        self._token_to_id[token] = idx
+        self._id_to_token.append(token)
+        return idx
+
+    def encode(self, tokens: Iterable[str]) -> list[int]:
+        """Map tokens to ids; unknown tokens raise ``KeyError``."""
+        return [self._token_to_id[t] for t in tokens]
+
+    def decode(self, ids: Iterable[int]) -> list[str]:
+        return [self._id_to_token[i] for i in ids]
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __getitem__(self, token: str) -> int:
+        return self._token_to_id[token]
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return 0
+
+    def tokens(self) -> list[str]:
+        """All tokens including the pad token, in id order."""
+        return list(self._id_to_token)

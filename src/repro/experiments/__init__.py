@@ -1,0 +1,46 @@
+"""Experiment harness: one runner per paper table, plus latency."""
+
+from . import paper_reference
+from .report import (
+    ablation_markdown,
+    comparison_markdown,
+    latency_markdown,
+    table3_markdown,
+)
+from .runner import (
+    ABLATIONS,
+    NoiseSpec,
+    class_dependent_noise,
+    format_ablation_table,
+    format_comparison_table,
+    run_ablation,
+    run_comparison,
+    run_latency,
+    run_single,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    uniform_noise,
+)
+from .sweeps import SweepPoint, format_sweep, sweep_config_field
+from .settings import (
+    CLASS_DEPENDENT_RATES,
+    DATASETS,
+    UNIFORM_ETAS,
+    ExperimentSettings,
+)
+
+__all__ = [
+    "ExperimentSettings", "DATASETS", "UNIFORM_ETAS", "CLASS_DEPENDENT_RATES",
+    "NoiseSpec", "uniform_noise", "class_dependent_noise",
+    "run_single", "run_comparison",
+    "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+    "run_ablation", "run_latency", "ABLATIONS",
+    "format_comparison_table", "format_ablation_table",
+    "paper_reference",
+    "comparison_markdown", "ablation_markdown", "table3_markdown",
+    "latency_markdown",
+    "SweepPoint", "sweep_config_field", "format_sweep",
+]

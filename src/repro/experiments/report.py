@@ -1,0 +1,134 @@
+"""Markdown report generation for experiment results.
+
+Turns the nested dicts produced by the :mod:`repro.experiments.runner`
+functions into GitHub-flavoured markdown tables, with the paper's
+reported numbers inlined for side-by-side comparison — the format used
+by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from . import paper_reference
+from ..metrics import MetricSummary
+
+__all__ = [
+    "comparison_markdown",
+    "ablation_markdown",
+    "table3_markdown",
+    "latency_markdown",
+]
+
+
+def _cell(summary: MetricSummary) -> str:
+    return f"{summary.mean:.1f}±{summary.std:.1f}"
+
+
+def comparison_markdown(results: dict, paper_f1: dict | None = None,
+                        title: str = "") -> str:
+    """Render run_comparison output; optionally include paper F1 means.
+
+    ``paper_f1[model][dataset]`` may be a float or an ``{eta: f1}`` dict
+    (Table I form); in the latter case the eta is parsed from the noise
+    label.
+    """
+    lines = []
+    if title:
+        lines += [f"### {title}", ""]
+    datasets = list(next(iter(results.values())))
+    noise_labels = list(next(iter(results[next(iter(results))].values())))
+    for noise_label in noise_labels:
+        lines.append(f"**{noise_label}**")
+        lines.append("")
+        header = "| Model | " + " | ".join(
+            f"{d} F1 | {d} FPR | {d} AUC" for d in datasets
+        )
+        if paper_f1:
+            header += " | paper F1 (" + "/".join(datasets) + ") |"
+        else:
+            header += " |"
+        lines.append(header)
+        lines.append("|" + "---|" * (header.count("|") - 1))
+        for model, per_dataset in results.items():
+            row = f"| {model} | " + " | ".join(
+                f"{_cell(per_dataset[d][noise_label]['f1'])} | "
+                f"{_cell(per_dataset[d][noise_label]['fpr'])} | "
+                f"{_cell(per_dataset[d][noise_label]['auc_roc'])}"
+                for d in datasets
+            )
+            if paper_f1 and model in paper_f1:
+                refs = []
+                for dataset in datasets:
+                    ref = paper_f1[model].get(dataset)
+                    if isinstance(ref, dict):
+                        eta = float(noise_label.split("=")[-1])
+                        ref = ref.get(eta)
+                    refs.append("—" if ref is None else f"{ref:.1f}")
+                row += " | " + "/".join(refs) + " |"
+            else:
+                row += " |"
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def ablation_markdown(results: dict, paper_f1: dict | None = None,
+                      title: str = "") -> str:
+    """Render run_ablation output next to paper F1 means."""
+    lines = []
+    if title:
+        lines += [f"### {title}", ""]
+    datasets = list(next(iter(results.values())))
+    header = "| Variant | " + " | ".join(f"{d} F1" for d in datasets)
+    if paper_f1:
+        header += " | paper F1 (" + "/".join(datasets) + ") |"
+    else:
+        header += " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (header.count("|") - 1))
+    for variant, per_dataset in results.items():
+        row = f"| {variant} | " + " | ".join(
+            _cell(per_dataset[d]["f1"]) for d in datasets
+        )
+        if paper_f1 and variant in paper_f1:
+            row += " | " + "/".join(
+                f"{paper_f1[variant][d]:.1f}" for d in datasets
+            ) + " |"
+        else:
+            row += " |"
+        lines.append(row)
+    lines.append("")
+    return "\n".join(lines)
+
+
+def table3_markdown(results: dict, title: str = "") -> str:
+    """Render run_table3 output next to the paper's Table III."""
+    lines = []
+    if title:
+        lines += [f"### {title}", ""]
+    lines.append("| Dataset | Noise | TPR | TNR | paper TPR | paper TNR |")
+    lines.append("|---|---|---|---|---|---|")
+    for dataset, per_noise in results.items():
+        for noise_label, cell in per_noise.items():
+            kind = "uniform" if noise_label.startswith("eta=") \
+                else "class-dependent"
+            paper_tpr, paper_tnr = paper_reference.TABLE3[dataset][kind]
+            lines.append(
+                f"| {dataset} | {noise_label} | {_cell(cell['tpr'])} | "
+                f"{_cell(cell['tnr'])} | {paper_tpr:.1f} | {paper_tnr:.1f} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def latency_markdown(latencies: dict[str, float], title: str = "") -> str:
+    """Render run_latency output with relative factors."""
+    lines = []
+    if title:
+        lines += [f"### {title}", ""]
+    base = min(latencies.values())
+    lines.append("| Model | seconds | x fastest |")
+    lines.append("|---|---|---|")
+    for model, seconds in sorted(latencies.items(), key=lambda kv: -kv[1]):
+        lines.append(f"| {model} | {seconds:.1f} | {seconds / base:.1f}x |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,319 @@
+"""Experiment runners for every table in the paper's evaluation.
+
+Each ``run_table*`` function reproduces one artifact:
+
+* Table I  — overall comparison under uniform noise;
+* Table II — overall comparison under class-dependent noise;
+* Table III — label-corrector TPR/TNR on the noisy training set;
+* Tables IV/V — CLFD ablations under both noise models;
+* §IV-B3 — training-latency comparison.
+
+Runners return nested dicts of :class:`~repro.metrics.MetricSummary`
+and can render themselves as text tables shaped like the paper's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines import BASELINES
+from ..core import CLFD, CLFDConfig
+from ..data import (
+    SessionDataset,
+    apply_class_dependent_noise,
+    apply_uniform_noise,
+    make_dataset,
+)
+from ..metrics import MetricSummary, evaluate_detector, summarize_runs, true_rates
+from .settings import CLASS_DEPENDENT_RATES, DATASETS, ExperimentSettings
+
+__all__ = [
+    "NoiseSpec",
+    "uniform_noise",
+    "class_dependent_noise",
+    "run_single",
+    "run_comparison",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_ablation",
+    "run_table4",
+    "run_table5",
+    "run_latency",
+    "ABLATIONS",
+    "format_comparison_table",
+    "format_ablation_table",
+]
+
+METRICS = ("f1", "fpr", "auc_roc")
+
+
+class NoiseSpec:
+    """A label-noise process to apply to a training set."""
+
+    def __init__(self, label: str,
+                 apply: Callable[[SessionDataset, np.random.Generator], None]):
+        self.label = label
+        self._apply = apply
+
+    def __call__(self, dataset: SessionDataset,
+                 rng: np.random.Generator) -> None:
+        self._apply(dataset, rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NoiseSpec({self.label})"
+
+
+def uniform_noise(eta: float) -> NoiseSpec:
+    return NoiseSpec(f"eta={eta}",
+                     lambda ds, rng: apply_uniform_noise(ds, eta, rng))
+
+
+def class_dependent_noise(eta_10: float = CLASS_DEPENDENT_RATES[0],
+                          eta_01: float = CLASS_DEPENDENT_RATES[1],
+                          ) -> NoiseSpec:
+    return NoiseSpec(
+        f"eta10={eta_10},eta01={eta_01}",
+        lambda ds, rng: apply_class_dependent_noise(ds, eta_10, eta_01, rng),
+    )
+
+
+def _model_factories(settings: ExperimentSettings,
+                     models: Sequence[str]) -> dict[str, Callable]:
+    factories: dict[str, Callable] = {}
+    for name in models:
+        if name == "CLFD":
+            factories[name] = lambda: CLFD(settings.clfd_config())
+        elif name in BASELINES:
+            cls = BASELINES[name]
+            factories[name] = (lambda c=cls: c(settings.baseline_config()))
+        else:
+            raise KeyError(f"unknown model {name!r}")
+    return factories
+
+
+def run_single(model_factory: Callable, dataset: str, noise: NoiseSpec,
+               seed: int, scale: float) -> dict[str, float]:
+    """Train one model on one noisy split; return test metrics."""
+    rng = np.random.default_rng(seed)
+    train, test = make_dataset(dataset, rng, scale=scale)
+    noise(train, rng)
+    model = model_factory()
+    model.fit(train, rng=np.random.default_rng(seed))
+    labels, scores = model.predict(test)
+    return evaluate_detector(test.labels(), labels, scores)
+
+
+def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
+                   models: Sequence[str] | None = None,
+                   datasets: Sequence[str] = DATASETS,
+                   verbose: bool = False,
+                   ) -> dict[str, dict[str, dict[str, dict[str, MetricSummary]]]]:
+    """Grid of model x dataset x noise, aggregated over seeds.
+
+    Returns ``results[model][dataset][noise.label][metric]``.
+    """
+    if models is None:
+        models = ["CLFD"] + list(BASELINES)
+    factories = _model_factories(settings, models)
+    results: dict = {m: {d: {} for d in datasets} for m in models}
+    for model_name, factory in factories.items():
+        for dataset in datasets:
+            for noise in noises:
+                runs = [run_single(factory, dataset, noise, seed,
+                                   settings.scale)
+                        for seed in range(settings.seeds)]
+                summary = {metric: summarize_runs([r[metric] for r in runs])
+                           for metric in METRICS}
+                results[model_name][dataset][noise.label] = summary
+                if verbose:  # pragma: no cover - console reporting
+                    print(f"{model_name:10s} {dataset:14s} {noise.label:22s} "
+                          + " ".join(f"{k}={v!s}" for k, v in summary.items()),
+                          flush=True)
+    return results
+
+
+def run_table1(settings: ExperimentSettings | None = None,
+               models: Sequence[str] | None = None,
+               verbose: bool = False) -> dict:
+    """Table I: uniform noise η sweep over all models and datasets."""
+    settings = settings or ExperimentSettings.from_env()
+    noises = [uniform_noise(eta) for eta in settings.etas]
+    return run_comparison(settings, noises, models=models, verbose=verbose)
+
+
+def run_table2(settings: ExperimentSettings | None = None,
+               models: Sequence[str] | None = None,
+               verbose: bool = False) -> dict:
+    """Table II: class-dependent noise (η₁₀=0.3, η₀₁=0.45)."""
+    settings = settings or ExperimentSettings.from_env()
+    return run_comparison(settings, [class_dependent_noise()], models=models,
+                          verbose=verbose)
+
+
+def run_table3(settings: ExperimentSettings | None = None,
+               verbose: bool = False) -> dict[str, dict[str, dict[str, MetricSummary]]]:
+    """Table III: label-corrector TPR/TNR on the noisy training set.
+
+    Returns ``results[dataset][noise.label]["tpr"/"tnr"]``.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    noises = [uniform_noise(0.45), class_dependent_noise()]
+    results: dict = {}
+    for dataset in DATASETS:
+        results[dataset] = {}
+        for noise in noises:
+            tprs, tnrs = [], []
+            for seed in range(settings.seeds):
+                rng = np.random.default_rng(seed)
+                train, _ = make_dataset(dataset, rng, scale=settings.scale)
+                noise(train, rng)
+                model = CLFD(settings.clfd_config())
+                model.fit(train, rng=np.random.default_rng(seed))
+                tpr, tnr = true_rates(train.labels(), model.corrected_labels)
+                tprs.append(tpr)
+                tnrs.append(tnr)
+            results[dataset][noise.label] = {
+                "tpr": summarize_runs(tprs),
+                "tnr": summarize_runs(tnrs),
+            }
+            if verbose:  # pragma: no cover
+                r = results[dataset][noise.label]
+                print(f"{dataset:14s} {noise.label:22s} "
+                      f"TPR={r['tpr']!s} TNR={r['tnr']!s}", flush=True)
+    return results
+
+
+# Table IV/V rows -> config overrides (see CLFDConfig docstring).
+ABLATIONS: dict[str, dict] = {
+    "CLFD": {},
+    "w/o LC": {"use_label_corrector": False},
+    "w/o mixup-GCE": {"classifier_loss": "gce"},
+    "w/o GCE loss": {"classifier_loss": "cce"},
+    "w/o FD": {"use_fraud_detector": False},
+    "w/o L_Sup": {"supcon_variant": "unweighted"},
+    "w/o classifier (FD)": {"inference": "centroid"},
+}
+
+
+def run_ablation(noise: NoiseSpec, settings: ExperimentSettings | None = None,
+                 variants: Sequence[str] | None = None,
+                 datasets: Sequence[str] = DATASETS,
+                 verbose: bool = False) -> dict:
+    """Shared engine for Tables IV and V.
+
+    Returns ``results[variant][dataset][metric]``.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    variants = list(variants) if variants else list(ABLATIONS)
+    results: dict = {}
+    base_config = settings.clfd_config()
+    for variant in variants:
+        overrides = ABLATIONS[variant]
+        results[variant] = {}
+        for dataset in datasets:
+            runs = []
+            for seed in range(settings.seeds):
+                config = CLFDConfig(**{**base_config.__dict__, **overrides})
+                runs.append(run_single(lambda: CLFD(config), dataset, noise,
+                                       seed, settings.scale))
+            results[variant][dataset] = {
+                metric: summarize_runs([r[metric] for r in runs])
+                for metric in METRICS
+            }
+            if verbose:  # pragma: no cover
+                r = results[variant][dataset]
+                print(f"{variant:20s} {dataset:14s} "
+                      + " ".join(f"{k}={v!s}" for k, v in r.items()),
+                      flush=True)
+    return results
+
+
+def run_table4(settings: ExperimentSettings | None = None,
+               **kwargs) -> dict:
+    """Table IV: ablations under uniform noise η=0.45."""
+    return run_ablation(uniform_noise(0.45), settings, **kwargs)
+
+
+def run_table5(settings: ExperimentSettings | None = None,
+               **kwargs) -> dict:
+    """Table V: ablations under class-dependent noise."""
+    return run_ablation(class_dependent_noise(), settings, **kwargs)
+
+
+def run_latency(settings: ExperimentSettings | None = None,
+                dataset: str = "cert", eta: float = 0.3,
+                models: Sequence[str] | None = None,
+                verbose: bool = False) -> dict[str, float]:
+    """§IV-B3: wall-clock training time per model, in seconds.
+
+    Absolute numbers are hardware-specific; the paper's claim is the
+    *relative* cost — supervised-contrastive models (CLFD, Sel-CL, CTRR)
+    cost a multiple of the rest.
+    """
+    settings = settings or ExperimentSettings.from_env()
+    if models is None:
+        models = ["CLFD"] + list(BASELINES)
+    factories = _model_factories(settings, models)
+    rng = np.random.default_rng(0)
+    train, _ = make_dataset(dataset, rng, scale=settings.scale)
+    apply_uniform_noise(train, eta, rng)
+    latencies: dict[str, float] = {}
+    for name, factory in factories.items():
+        model = factory()
+        start = time.perf_counter()
+        model.fit(train, rng=np.random.default_rng(0))
+        latencies[name] = time.perf_counter() - start
+        if verbose:  # pragma: no cover
+            print(f"{name:10s} {latencies[name]:8.2f}s", flush=True)
+    return latencies
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def format_comparison_table(results: dict, title: str) -> str:
+    """Render run_comparison output like the paper's Tables I/II."""
+    lines = [title]
+    datasets = list(next(iter(results.values())))
+    header = f"{'Model':12s} {'Noise':22s}"
+    for dataset in datasets:
+        header += f" | {dataset:^26s}"
+    lines.append(header)
+    sub = f"{'':12s} {'':22s}"
+    for _ in datasets:
+        sub += f" | {'F1':>8s} {'FPR':>8s} {'AUC':>8s}"
+    lines.append(sub)
+    lines.append("-" * len(sub))
+    for model, per_dataset in results.items():
+        noise_labels = list(next(iter(per_dataset.values())))
+        for noise_label in noise_labels:
+            row = f"{model:12s} {noise_label:22s}"
+            for dataset in datasets:
+                cell = per_dataset[dataset][noise_label]
+                row += (f" | {cell['f1']!s:>8s} {cell['fpr']!s:>8s} "
+                        f"{cell['auc_roc']!s:>8s}")
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def format_ablation_table(results: dict, title: str) -> str:
+    """Render run_ablation output like the paper's Tables IV/V."""
+    lines = [title]
+    datasets = list(next(iter(results.values())))
+    header = f"{'Variant':22s}"
+    for dataset in datasets:
+        header += f" | {dataset:^26s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for variant, per_dataset in results.items():
+        row = f"{variant:22s}"
+        for dataset in datasets:
+            cell = per_dataset[dataset]
+            row += (f" | {cell['f1']!s:>8s} {cell['fpr']!s:>8s} "
+                    f"{cell['auc_roc']!s:>8s}")
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Contrastive losses: SimCLR NT-Xent and supervised-contrastive variants.
+
+Three supervised variants from the paper are provided through one entry
+point, :func:`sup_con_loss`:
+
+* ``variant="weighted"`` — the paper's L_Sup (Eq. 5): each positive pair
+  is weighted by the label-corrector confidences ``cᵢ·cₚ``;
+* ``variant="unweighted"`` — L_Sup^uw (Eq. 18), the "w/o L_Sup" ablation;
+* ``variant="filtered"`` — L_Sup^ftr (Eq. 20): pairs with
+  ``cᵢ·cₚ ≤ τ`` are discarded.
+
+Anchors are the first ``num_anchors`` rows (the training batch S); all
+rows (S ∪ S¹, including the auxiliary malicious batch) act as candidates
+A(xᵢ), exactly as in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, cosine_similarity_matrix
+
+__all__ = ["nt_xent_loss", "sup_con_loss"]
+
+_NEG_INF = -1e9
+
+
+def nt_xent_loss(z_a: Tensor, z_b: Tensor, temperature: float = 1.0) -> Tensor:
+    """SimCLR NT-Xent loss over two augmented views.
+
+    ``z_a[i]`` and ``z_b[i]`` are representations of two augmentations of
+    the same session; every other representation in the 2N batch is a
+    negative.  Used for the label corrector's self-supervised
+    pre-training (§III-A).
+    """
+    if z_a.shape != z_b.shape:
+        raise ValueError(f"view shapes differ: {z_a.shape} vs {z_b.shape}")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    n = z_a.shape[0]
+    from ..nn import concat
+
+    z = concat([z_a, z_b], axis=0)                       # (2n, d)
+    sims = cosine_similarity_matrix(z) * (1.0 / temperature)
+    # Mask self-similarity out of the denominator.
+    mask = np.full((2 * n, 2 * n), 0.0)
+    np.fill_diagonal(mask, _NEG_INF)
+    logits = sims + Tensor(mask)
+    log_denom = _row_logsumexp(logits)
+    positives = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+    pos_logit = logits[np.arange(2 * n), positives]
+    return (log_denom - pos_logit).mean()
+
+
+def sup_con_loss(z: Tensor, labels, temperature: float = 1.0,
+                 confidences=None, num_anchors: int | None = None,
+                 variant: str = "weighted",
+                 threshold: float = 0.7) -> Tensor:
+    """Supervised contrastive loss with confidence weighting (Eq. 5–6).
+
+    Parameters
+    ----------
+    z: representations, shape (n, d). Rows ``[num_anchors:]`` are the
+        auxiliary malicious batch S¹ (candidates only, never anchors).
+    labels: corrected labels ŷ for all n rows.
+    temperature: α in Eq. 6.
+    confidences: label-corrector confidences c for all n rows. Required
+        for the weighted and filtered variants.
+    num_anchors: R, the anchor count (defaults to all rows).
+    variant: "weighted" (paper), "unweighted" (Eq. 18) or "filtered"
+        (Eq. 20 with ``threshold`` = τ).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    n = z.shape[0]
+    if labels.shape != (n,):
+        raise ValueError(f"labels must have shape ({n},), got {labels.shape}")
+    if temperature <= 0:
+        raise ValueError("temperature must be positive")
+    if num_anchors is None:
+        num_anchors = n
+    if not 1 <= num_anchors <= n:
+        raise ValueError(f"num_anchors must be in [1, {n}]")
+    if variant not in ("weighted", "unweighted", "filtered"):
+        raise ValueError(f"unknown variant {variant!r}")
+
+    if variant == "unweighted":
+        pair_weights = np.ones((n, n))
+    else:
+        if confidences is None:
+            raise ValueError(f"variant {variant!r} requires confidences")
+        conf = np.asarray(confidences, dtype=np.float64)
+        if conf.shape != (n,):
+            raise ValueError(f"confidences must have shape ({n},)")
+        pair_weights = np.outer(conf, conf)
+        if variant == "filtered":
+            pair_weights = (pair_weights > threshold).astype(np.float64)
+
+    sims = cosine_similarity_matrix(z) * (1.0 / temperature)
+    self_mask = np.full((n, n), 0.0)
+    np.fill_diagonal(self_mask, _NEG_INF)
+    logits = sims + Tensor(self_mask)
+    log_denom = _row_logsumexp(logits)                    # (n,)
+
+    same_label = (labels[:, None] == labels[None, :]).astype(np.float64)
+    np.fill_diagonal(same_label, 0.0)                     # B(x_i) excludes i
+    positive_mask = same_label.copy()
+    positive_mask[num_anchors:, :] = 0.0                  # only S rows anchor
+
+    counts = positive_mask.sum(axis=1)                    # |B(x_i)|
+    # 1/|B| per anchor; anchors with no positives contribute zero.
+    inv_counts = np.divide(1.0, counts, out=np.zeros_like(counts),
+                           where=counts > 0)
+
+    # l_sup(i, p) = log_denom_i - logit_ip for each positive pair.
+    pair_loss = (log_denom.reshape(n, 1) - logits)
+    weights = Tensor(positive_mask * pair_weights * inv_counts[:, None])
+    total = (pair_loss * weights).sum()
+    return total * (1.0 / num_anchors)
+
+
+def _row_logsumexp(logits: Tensor) -> Tensor:
+    """Row-wise log-sum-exp, numerically stabilised with a detached max."""
+    row_max = Tensor(logits.data.max(axis=1, keepdims=True))
+    shifted = logits - row_max
+    return (shifted.exp().sum(axis=1).log() + row_max.reshape(-1))

@@ -1,0 +1,85 @@
+"""Extension losses from the paper's future-work list.
+
+§V: *"We will explore benefits of developing the mixup versions of other
+robust loss functions."*  This module provides those: the symmetric
+cross-entropy of Wang et al. [21], an explicit unhinged/MAE loss entry
+point, and :func:`make_mixup_loss`, which lifts any probability-space
+loss to its mixup form so new robust losses can be dropped into the
+CLFD classifier-head trainer unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..augment import MixupBatch, sample_mixup
+from ..nn import Tensor, as_tensor
+from .robust import _check_inputs, _reduce, cce_loss, gce_loss, mae_loss
+
+__all__ = ["sce_loss", "mixup_loss_value", "make_mixup_loss", "LOSS_REGISTRY"]
+
+_EPS = 1e-12
+
+
+def sce_loss(probs: Tensor, targets, alpha: float = 0.1, beta: float = 1.0,
+             reduction: str = "mean") -> Tensor:
+    """Symmetric cross-entropy (Wang et al., ICCV 2019).
+
+    ``l = α·CCE(p, t) + β·RCE(p, t)`` where the reverse cross-entropy
+    ``RCE = -Σ_k p_k log t_k`` treats the prediction as the reference
+    distribution.  ``log 0`` is clamped to ``log ε`` (the original
+    implementation's A = -4 style clamp), which is what gives the loss
+    its noise robustness.
+    """
+    if alpha < 0 or beta < 0:
+        raise ValueError("alpha and beta must be non-negative")
+    targets = _check_inputs(probs, targets)
+    probs = as_tensor(probs).clip(_EPS, 1.0)
+    forward = -(Tensor(targets) * probs.log()).sum(axis=-1)
+    clamped_log_targets = np.log(np.maximum(targets, 1e-4))
+    reverse = -(probs * Tensor(clamped_log_targets)).sum(axis=-1)
+    return _reduce(forward * alpha + reverse * beta, reduction)
+
+
+def mixup_loss_value(loss_fn: Callable[..., Tensor], probs_fn,
+                     features: Tensor, batch: MixupBatch, **loss_kwargs
+                     ) -> Tensor:
+    """Evaluate ``loss_fn`` on a mixup batch.
+
+    ``probs_fn`` maps (mixed) features to softmax probabilities;
+    ``batch`` supplies partners, λ draws and mixed targets.
+    """
+    lam = Tensor(batch.lam[:, None])
+    mixed = features * lam + features[batch.partner] * (1.0 - lam)
+    return loss_fn(probs_fn(mixed), batch.mixed_targets, **loss_kwargs)
+
+
+def make_mixup_loss(loss_fn: Callable[..., Tensor], beta: float = 0.3,
+                    **loss_kwargs) -> Callable:
+    """Lift a probability-space loss to its mixup version.
+
+    Returns ``mixup_loss(probs_fn, features, labels, rng) -> Tensor`` that
+    draws a fresh mixup batch and evaluates ``loss_fn`` on it, matching
+    the construction of Eq. 2–3 for arbitrary base losses.
+    """
+
+    def mixup_loss(probs_fn, features: Tensor, labels,
+                   rng: np.random.Generator) -> Tensor:
+        batch = sample_mixup(np.asarray(labels, dtype=np.int64), rng,
+                             beta=beta)
+        return mixup_loss_value(loss_fn, probs_fn, features, batch,
+                                **loss_kwargs)
+
+    mixup_loss.__name__ = f"mixup_{getattr(loss_fn, '__name__', 'loss')}"
+    return mixup_loss
+
+
+#: Name -> probability-space loss, for config-driven selection.
+LOSS_REGISTRY: dict[str, Callable[..., Tensor]] = {
+    "gce": gce_loss,
+    "cce": cce_loss,
+    "mae": mae_loss,
+    "sce": sce_loss,
+}

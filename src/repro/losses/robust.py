@@ -1,0 +1,77 @@
+"""Noise-robust classification losses (paper §III-A1).
+
+All losses take the classifier's softmax *probabilities* (a Tensor of
+shape ``(batch, classes)``) and a target distribution (a NumPy array of
+the same shape: one-hot for plain labels, or a mixup interpolation
+``m̃ᵢ = λẽᵢ + (1-λ)ẽⱼ``).  The mixup-GCE loss of Eq. 2 is therefore
+:func:`gce_loss` evaluated on mixed probabilities/targets produced by
+:mod:`repro.augment.mixup`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Tensor, as_tensor
+
+__all__ = ["gce_loss", "cce_loss", "mae_loss"]
+
+_EPS = 1e-12
+
+
+def _check_inputs(probs: Tensor, targets: np.ndarray) -> np.ndarray:
+    targets = np.asarray(targets, dtype=np.float64)
+    if probs.shape != targets.shape:
+        raise ValueError(
+            f"probs {probs.shape} and targets {targets.shape} must match"
+        )
+    return targets
+
+
+def _reduce(per_sample: Tensor, reduction: str) -> Tensor:
+    if reduction == "mean":
+        return per_sample.mean()
+    if reduction == "sum":
+        return per_sample.sum()
+    if reduction == "none":
+        return per_sample
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def gce_loss(probs: Tensor, targets, q: float = 0.7,
+             reduction: str = "mean") -> Tensor:
+    """Generalized cross-entropy (Eq. 1 / Eq. 2 with mixed targets).
+
+    ``l = Σ_k (t_k / q) · (1 - p_k^q)`` with ``q ∈ (0, 1]``.
+    ``q → 0`` recovers categorical cross-entropy (Theorem 1); ``q = 1``
+    is the MAE/unhinged loss.
+    """
+    if not 0.0 < q <= 1.0:
+        raise ValueError(f"q must be in (0, 1], got {q}")
+    targets = _check_inputs(probs, targets)
+    probs = as_tensor(probs).clip(_EPS, 1.0)
+    per_sample = (Tensor(targets) * (1.0 - probs ** q) * (1.0 / q)).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def cce_loss(probs: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Categorical cross-entropy over probabilities with soft targets.
+
+    ``l = -Σ_k t_k log p_k`` — the noise-*sensitive* loss the paper uses
+    as the "w/o GCE" ablation and as the q→0 limit of GCE.
+    """
+    targets = _check_inputs(probs, targets)
+    probs = as_tensor(probs).clip(_EPS, 1.0)
+    per_sample = -(Tensor(targets) * probs.log()).sum(axis=-1)
+    return _reduce(per_sample, reduction)
+
+
+def mae_loss(probs: Tensor, targets, reduction: str = "mean") -> Tensor:
+    """Unhinged / mean-absolute-error loss: ``Σ_k t_k (1 - p_k)``.
+
+    Noise-robust but slow to optimise (§III-A1); equals GCE at q=1.
+    """
+    targets = _check_inputs(probs, targets)
+    probs = as_tensor(probs)
+    per_sample = (Tensor(targets) * (1.0 - probs)).sum(axis=-1)
+    return _reduce(per_sample, reduction)

@@ -1,0 +1,79 @@
+"""Decision-threshold utilities.
+
+Score-based detectors (DeepLog/LogBert here; any production deployment
+of CLFD's malicious score) need an operating point.  These helpers pick
+one on a validation set and describe the trade-off curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classification import false_positive_rate, precision_recall_f1
+
+__all__ = ["best_f1_threshold", "threshold_at_fpr", "operating_points"]
+
+
+def _validate(y_true, scores) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape or y_true.ndim != 1 or y_true.size == 0:
+        raise ValueError("y_true and scores must be equal-length 1-D arrays")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("labels must be binary (0/1)")
+    return y_true, scores
+
+
+def best_f1_threshold(y_true, scores) -> tuple[float, float]:
+    """Return (threshold, F1%) maximising F1 over all score cut points.
+
+    Predictions are ``score > threshold``; candidate thresholds are the
+    distinct scores (plus one below the minimum, for "flag everything").
+    """
+    y_true, scores = _validate(y_true, scores)
+    candidates = np.unique(scores)
+    candidates = np.r_[candidates.min() - 1e-12, candidates]
+    best_threshold, best_f1 = float(candidates[0]), -1.0
+    for threshold in candidates:
+        pred = (scores > threshold).astype(np.int64)
+        _, _, f1 = precision_recall_f1(y_true, pred)
+        if f1 > best_f1:
+            best_threshold, best_f1 = float(threshold), f1
+    return best_threshold, best_f1
+
+
+def threshold_at_fpr(y_true, scores, max_fpr: float = 5.0) -> float:
+    """Lowest threshold whose FPR stays within ``max_fpr`` percent.
+
+    Security teams usually fix an alert budget (FPR) and take whatever
+    recall that allows; this picks that operating point.
+    """
+    y_true, scores = _validate(y_true, scores)
+    if not 0.0 <= max_fpr <= 100.0:
+        raise ValueError("max_fpr is a percentage in [0, 100]")
+    negatives = np.sort(scores[y_true == 0])[::-1]
+    if negatives.size == 0:
+        return float(scores.min() - 1e-12)
+    # Number of negatives allowed above the threshold.
+    allowed = int(np.floor(negatives.size * max_fpr / 100.0))
+    if allowed >= negatives.size:
+        return float(scores.min() - 1e-12)
+    return float(negatives[allowed])
+
+
+def operating_points(y_true, scores, thresholds=None) -> list[dict[str, float]]:
+    """F1/FPR/recall at each threshold — the trade-off table."""
+    y_true, scores = _validate(y_true, scores)
+    if thresholds is None:
+        thresholds = np.quantile(scores, np.linspace(0.05, 0.95, 10))
+    rows = []
+    for threshold in thresholds:
+        pred = (scores > threshold).astype(np.int64)
+        _, recall, f1 = precision_recall_f1(y_true, pred)
+        rows.append({
+            "threshold": float(threshold),
+            "f1": f1,
+            "recall": recall,
+            "fpr": false_positive_rate(y_true, pred),
+        })
+    return rows

@@ -1,0 +1,78 @@
+"""NumPy neural-network substrate: autograd tensors, layers, optimizers.
+
+This subpackage replaces PyTorch for the CLFD reproduction.  It provides
+everything the paper's models need: a reverse-mode autograd
+:class:`~repro.nn.tensor.Tensor`, LSTM and transformer encoders, linear /
+embedding / normalisation layers, and the Adam optimizer.
+"""
+
+from .attention import (
+    MultiHeadAttention,
+    TransformerEncoder,
+    TransformerEncoderLayer,
+    sinusoidal_positions,
+)
+from .gradcheck import check_gradients, numeric_gradient
+from .functional import (
+    cosine_similarity_matrix,
+    cross_entropy,
+    l2_normalize,
+    log_softmax,
+    nll_loss,
+    one_hot,
+    softmax,
+)
+from .layers import (
+    GELU,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    LeakyReLU,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .bilstm import AttentionPooling, BiLSTM
+from .gru import GRU, GRUCell
+from .lstm import LSTM, LSTMCell
+from .module import Module, Parameter
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .schedulers import (
+    CosineAnnealingLR,
+    EarlyStopping,
+    LinearDecayLR,
+    LRScheduler,
+    StepLR,
+)
+from .serialize import load_module, save_module
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concat,
+    is_grad_enabled,
+    maximum,
+    minimum,
+    no_grad,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor", "as_tensor", "concat", "stack", "where", "maximum", "minimum",
+    "no_grad", "is_grad_enabled",
+    "Module", "Parameter",
+    "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
+    "ReLU", "LeakyReLU", "Tanh", "GELU", "Sigmoid",
+    "LSTM", "LSTMCell", "GRU", "GRUCell", "BiLSTM", "AttentionPooling",
+    "LRScheduler", "StepLR", "CosineAnnealingLR", "LinearDecayLR",
+    "EarlyStopping",
+    "MultiHeadAttention", "TransformerEncoder", "TransformerEncoderLayer",
+    "sinusoidal_positions",
+    "softmax", "log_softmax", "cross_entropy", "nll_loss", "one_hot",
+    "l2_normalize", "cosine_similarity_matrix",
+    "Optimizer", "SGD", "Adam", "clip_grad_norm",
+    "save_module", "load_module",
+    "check_gradients", "numeric_gradient",
+]

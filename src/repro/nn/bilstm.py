@@ -1,0 +1,95 @@
+"""Bidirectional LSTM and attention pooling — encoder variants.
+
+Session models frequently benefit from right-to-left context (an
+exfiltration burst recolours the log-on that preceded it) and from
+learned pooling instead of a plain mean.  These wrappers compose the
+base :class:`~repro.nn.lstm.LSTM` into a bidirectional encoder and add
+an additive-attention pooling head, both interface-compatible with the
+encoders used across this repository.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .lstm import LSTM
+from .module import Module, Parameter
+from .tensor import Tensor, concat, stack
+
+__all__ = ["BiLSTM", "AttentionPooling"]
+
+
+class BiLSTM(Module):
+    """Two LSTMs run over the sequence in opposite directions.
+
+    Outputs are concatenated per step, so the output width is
+    ``2 * hidden_size``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 2):
+        super().__init__()
+        self.forward_lstm = LSTM(input_size, hidden_size, rng,
+                                 num_layers=num_layers)
+        self.backward_lstm = LSTM(input_size, hidden_size, rng,
+                                  num_layers=num_layers)
+        self.hidden_size = hidden_size
+        self.output_size = 2 * hidden_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Return per-step outputs of shape (batch, time, 2*hidden)."""
+        if x.ndim != 3:
+            raise ValueError(f"BiLSTM expects (batch, time, features), "
+                             f"got {x.shape}")
+        fwd, _ = self.forward_lstm(x)
+        time = x.shape[1]
+        reversed_steps = [x[:, t, :] for t in range(time - 1, -1, -1)]
+        reversed_input = stack(reversed_steps, axis=1)
+        bwd_rev, _ = self.backward_lstm(reversed_input)
+        bwd = stack([bwd_rev[:, t, :] for t in range(time - 1, -1, -1)],
+                    axis=1)
+        return concat([fwd, bwd], axis=2)
+
+    def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        """Masked mean over time of the concatenated outputs."""
+        outputs = self.forward(x)
+        batch, time, _ = outputs.shape
+        if lengths is None:
+            return outputs.mean(axis=1)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        masked = outputs * Tensor(mask[:, :, None])
+        return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])
+
+
+class AttentionPooling(Module):
+    """Additive attention pooling over per-step encoder outputs.
+
+    Learns a query vector; each step's weight is
+    ``softmax(tanh(h W) · q)`` with padding masked out.
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator,
+                 attention_dim: int | None = None):
+        super().__init__()
+        attention_dim = attention_dim or dim
+        self.proj = Parameter(init.xavier_uniform((dim, attention_dim), rng))
+        self.query = Parameter(init.xavier_uniform((attention_dim,), rng))
+
+    def forward(self, outputs: Tensor,
+                lengths: np.ndarray | None = None) -> Tensor:
+        """Pool (batch, time, dim) -> (batch, dim)."""
+        if outputs.ndim != 3:
+            raise ValueError("AttentionPooling expects (batch, time, dim)")
+        batch, time, _ = outputs.shape
+        scores = (outputs @ self.proj).tanh() @ self.query   # (batch, time)
+        if lengths is not None:
+            lengths = np.asarray(lengths)
+            bias = np.where(np.arange(time)[None, :] < lengths[:, None],
+                            0.0, -1e9)
+            scores = scores + Tensor(bias)
+        shifted = scores - Tensor(scores.data.max(axis=1, keepdims=True))
+        weights = shifted.exp()
+        weights = weights / weights.sum(axis=1, keepdims=True)
+        return (outputs * weights.reshape(batch, time, 1)).sum(axis=1)

@@ -1,0 +1,58 @@
+"""Numerical gradient checking for autograd correctness.
+
+Used both by the test suite and as a debugging aid: compares analytic
+gradients produced by :meth:`Tensor.backward` against central finite
+differences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["numeric_gradient", "check_gradients"]
+
+
+def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    grad = np.zeros_like(tensor.data, dtype=np.float64)
+    flat = tensor.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = float(fn().data)
+        flat[i] = original - eps
+        minus = float(fn().data)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
+                    eps: float = 1e-6, atol: float = 1e-5,
+                    rtol: float = 1e-4) -> None:
+    """Assert analytic gradients of scalar ``fn()`` match finite differences.
+
+    Raises ``AssertionError`` with the offending tensor index and the max
+    absolute deviation on mismatch.
+    """
+    for t in tensors:
+        t.zero_grad()
+    out = fn()
+    if out.size != 1:
+        raise ValueError("check_gradients requires a scalar-valued function")
+    out.backward()
+    for idx, tensor in enumerate(tensors):
+        analytic = tensor.grad if tensor.grad is not None \
+            else np.zeros_like(tensor.data)
+        numeric = numeric_gradient(fn, tensor, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            deviation = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradient mismatch for tensor #{idx}: max|diff|={deviation:.3e}"
+            )

@@ -1,0 +1,97 @@
+"""Gated Recurrent Unit layers — an alternative session encoder.
+
+The paper standardises on LSTM encoders; a GRU at the same width is a
+natural ablation (fewer parameters, similar capacity).  The interface
+mirrors :class:`repro.nn.LSTM` including masked mean-pooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, stack
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single GRU cell with fused gate projections.
+
+    Gate order in the fused reset/update weights is ``[reset, update]``;
+    the candidate projection is kept separate because it sees the
+    reset-scaled hidden state.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((input_size, 2 * hidden_size), rng))
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(2)],
+                axis=1,
+            )
+        )
+        self.bias = Parameter(np.zeros(2 * hidden_size))
+        self.w_xc = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
+        self.w_hc = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
+        self.bias_c = Parameter(np.zeros(hidden_size))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        """One step: returns the new hidden state."""
+        gates = x @ self.w_x + h_prev @ self.w_h + self.bias
+        hs = self.hidden_size
+        r = gates[:, 0 * hs:1 * hs].sigmoid()
+        z = gates[:, 1 * hs:2 * hs].sigmoid()
+        candidate = (x @ self.w_xc + (r * h_prev) @ self.w_hc + self.bias_c).tanh()
+        return z * h_prev + (1.0 - z) * candidate
+
+    def initial_state(self, batch_size: int) -> Tensor:
+        return Tensor(np.zeros((batch_size, self.hidden_size)))
+
+
+class GRU(Module):
+    """Multi-layer batch-first GRU with LSTM-compatible interface."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 2):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Run the sequence; returns (outputs, final hidden state)."""
+        if x.ndim != 3:
+            raise ValueError(f"GRU expects (batch, time, features), got {x.shape}")
+        batch, time, _ = x.shape
+        layer_input = [x[:, t, :] for t in range(time)]
+        h = None
+        for cell in self.cells:
+            h = cell.initial_state(batch)
+            outputs = []
+            for step in layer_input:
+                h = cell(step, h)
+                outputs.append(h)
+            layer_input = outputs
+        return stack(layer_input, axis=1), h
+
+    def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        """Masked mean over the final layer's hidden states."""
+        outputs, _ = self.forward(x)
+        if lengths is None:
+            return outputs.mean(axis=1)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        batch, time, _ = outputs.shape
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        masked = outputs * Tensor(mask[:, :, None])
+        return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])

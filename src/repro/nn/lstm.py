@@ -1,0 +1,118 @@
+"""Long Short-Term Memory layers (batch-first, multi-layer).
+
+The paper's session encoders are two-layer LSTMs whose final-layer hidden
+states are averaged to produce a session representation; this module
+implements the recurrent substrate for that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, stack
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell with fused gate projection.
+
+    Gate order in the fused weight matrices is ``[input, forget, cell, output]``.
+    The forget-gate bias is initialised to 1, the standard trick for
+    gradient flow early in training.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_x = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
+        self.w_h = Parameter(
+            np.concatenate(
+                [init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)],
+                axis=1,
+            )
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        """One step: ``x`` is (batch, input_size); returns new (h, c)."""
+        h_prev, c_prev = state
+        gates = x @ self.w_x + h_prev @ self.w_h + self.bias
+        hs = self.hidden_size
+        i = gates[:, 0 * hs:1 * hs].sigmoid()
+        f = gates[:, 1 * hs:2 * hs].sigmoid()
+        g = gates[:, 2 * hs:3 * hs].tanh()
+        o = gates[:, 3 * hs:4 * hs].sigmoid()
+        c = f * c_prev + i * g
+        h = o * c.tanh()
+        return h, c
+
+    def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
+        zeros = np.zeros((batch_size, self.hidden_size))
+        return Tensor(zeros), Tensor(zeros.copy())
+
+
+class LSTM(Module):
+    """Multi-layer batch-first LSTM.
+
+    Parameters
+    ----------
+    input_size: size of each input vector.
+    hidden_size: size of the hidden state (same for all layers, matching
+        the paper's "two hidden layers with the same dimensions").
+    num_layers: number of stacked LSTM layers.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, num_layers: int = 2):
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self.cells = [
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            for layer in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Run the full sequence.
+
+        ``x`` is (batch, time, input_size). Returns ``(outputs, (h_n, c_n))``
+        where ``outputs`` is (batch, time, hidden_size) from the last layer
+        and ``h_n``/``c_n`` are the final states of the last layer.
+        """
+        if x.ndim != 3:
+            raise ValueError(f"LSTM expects (batch, time, features), got {x.shape}")
+        batch, time, _ = x.shape
+        layer_input = [x[:, t, :] for t in range(time)]
+        h = c = None
+        for cell in self.cells:
+            h, c = cell.initial_state(batch)
+            outputs = []
+            for step in layer_input:
+                h, c = cell(step, (h, c))
+                outputs.append(h)
+            layer_input = outputs
+        return stack(layer_input, axis=1), (h, c)
+
+    def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
+        """Encode sessions by averaging final-layer hidden states over time.
+
+        ``lengths`` marks the true (unpadded) length of each sequence; when
+        provided, padding positions are excluded from the average.
+        """
+        outputs, _ = self.forward(x)
+        if lengths is None:
+            return outputs.mean(axis=1)
+        lengths = np.asarray(lengths, dtype=np.float64)
+        batch, time, _ = outputs.shape
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        masked = outputs * Tensor(mask[:, :, None])
+        return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])

@@ -1,0 +1,108 @@
+"""Learning-rate schedulers and an early-stopping helper.
+
+Small training-loop utilities used by long classifier-head runs (the
+paper trains heads for 500 epochs; decaying the rate stabilises the
+late epochs where label memorization otherwise sets in).
+"""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "LinearDecayLR",
+           "EarlyStopping"]
+
+
+class LRScheduler:
+    """Base scheduler: mutates ``optimizer.lr`` on each ``step()``."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self.epoch += 1
+        lr = self._compute_lr()
+        self.optimizer.lr = lr
+        return lr
+
+    def _compute_lr(self) -> float:
+        raise NotImplementedError
+
+
+class StepLR(LRScheduler):
+    """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def _compute_lr(self) -> float:
+        return self.base_lr * self.gamma ** (self.epoch // self.step_size)
+
+
+class CosineAnnealingLR(LRScheduler):
+    """Cosine decay from the base rate to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def _compute_lr(self) -> float:
+        progress = min(self.epoch / self.total_epochs, 1.0)
+        cosine = (1.0 + math.cos(math.pi * progress)) / 2.0
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class LinearDecayLR(LRScheduler):
+    """Linear decay to ``final_fraction * base_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 final_fraction: float = 0.01):
+        super().__init__(optimizer)
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        if not 0.0 <= final_fraction <= 1.0:
+            raise ValueError("final_fraction must be in [0, 1]")
+        self.total_epochs = total_epochs
+        self.final_fraction = final_fraction
+
+    def _compute_lr(self) -> float:
+        progress = min(self.epoch / self.total_epochs, 1.0)
+        fraction = 1.0 - (1.0 - self.final_fraction) * progress
+        return self.base_lr * fraction
+
+
+class EarlyStopping:
+    """Stop when a monitored loss hasn't improved for ``patience`` epochs."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best = float("inf")
+        self.stale = 0
+
+    def update(self, value: float) -> bool:
+        """Record one epoch's loss; returns True when training should stop."""
+        if value < self.best - self.min_delta:
+            self.best = value
+            self.stale = 0
+        else:
+            self.stale += 1
+        return self.stale >= self.patience

@@ -1,0 +1,27 @@
+"""Save/load model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write the module's state dict to ``path`` (npz format)."""
+    state = module.state_dict()
+    if not state:
+        raise ValueError("module has no parameters to save")
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Restore a state dict previously written by :func:`save_module`."""
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

@@ -1,0 +1,548 @@
+"""Reverse-mode automatic differentiation over NumPy arrays.
+
+This module is the substrate that replaces PyTorch in this reproduction.
+It implements a :class:`Tensor` that records a dynamic computation graph
+and can backpropagate gradients through every operation used by the
+models in this repository (LSTMs, transformers, contrastive losses).
+
+The design follows the classic tape-based approach: every operation
+returns a new ``Tensor`` holding references to its inputs and a closure
+that accumulates gradients into them.  ``Tensor.backward()`` performs a
+topological sort and runs the closures in reverse order.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "as_tensor",
+    "concat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction (like torch.no_grad)."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after NumPy broadcasting.
+
+    Gradients of broadcast operations must be summed over the axes that
+    were expanded during the forward pass.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size-1 in the original shape.
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to ``float64`` unless already a
+        floating dtype.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` when
+        ``backward()`` is called on a downstream tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        self.data: np.ndarray = arr
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self._backward: Callable[[], None] | None = None
+        self._prev: tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({self.data!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        if self.data.size != 1:
+            raise ValueError("item() requires a single-element tensor")
+        return float(self.data.reshape(()))
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph mechanics
+    # ------------------------------------------------------------------
+    def _init_grad(self) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data, dtype=np.float64)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        self._init_grad()
+        self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (so scalars behave like losses).
+        """
+        if not self.requires_grad and self._backward is None:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data, dtype=np.float64)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for child in node._prev:
+                if id(child) not in visited:
+                    stack.append((child, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[], None] | None) -> "Tensor":
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._prev = tuple(parents)
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __mul__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(_unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Tensor":
+        return self * -1.0
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __truediv__(self, other) -> "Tensor":
+        other = as_tensor(other)
+        return self * other ** -1.0
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return as_tensor(other) * self ** -1.0
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+        out_data = self.data ** exponent
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1.0))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Transcendental functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out_data ** 2))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * out_data * (1.0 - out_data))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out_data = np.where(mask, self.data, 0.0)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+        out_data = self.data * scale
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * scale)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Tanh approximation of the Gaussian error linear unit."""
+        c = np.sqrt(2.0 / np.pi)
+        x = self.data
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        out_data = 0.5 * x * (1.0 + t)
+
+        def backward():
+            if self.requires_grad:
+                dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * x ** 2)
+                self._accumulate(out.grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        """Clamp values; gradient passes only inside the interval."""
+        mask = (self.data >= lo) & (self.data <= hi)
+        out_data = np.clip(self.data, lo, hi)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out_data = np.abs(self.data)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward():
+            if self.requires_grad:
+                grad = out.grad
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.shape[a] for a in axis]))
+        else:
+            count = self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward():
+            if self.requires_grad:
+                grad = out.grad
+                expanded = out_data
+                if axis is not None and not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                    expanded = np.expand_dims(out_data, axis)
+                mask = (self.data == expanded).astype(np.float64)
+                # Split gradient evenly among ties, matching subgradient choice.
+                counts = mask.sum(axis=axis, keepdims=True) if axis is not None \
+                    else mask.sum()
+                self._accumulate(grad * mask / counts)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        out_data = self.data.transpose(axes)
+        inverse = np.argsort(axes)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward():
+            if self.requires_grad:
+                grad = np.zeros_like(self.data, dtype=np.float64)
+                np.add.at(grad, index, out.grad)
+                self._accumulate(grad)
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward():
+            if self.requires_grad:
+                if other.data.ndim == 1:
+                    grad = np.outer(out.grad, other.data) if out.grad.ndim == 1 \
+                        else np.einsum("...i,j->...ij", out.grad, other.data)
+                else:
+                    grad = out.grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(_unbroadcast(grad, self.shape))
+            if other.requires_grad:
+                if self.data.ndim == 1:
+                    grad = np.outer(self.data, out.grad)
+                elif other.data.ndim == 1:
+                    # out[..., t] = Σ_d self[..., t, d] · other[d]
+                    grad = (self.data * out.grad[..., None]) \
+                        .reshape(-1, other.data.shape[0]).sum(axis=0)
+                else:
+                    grad = np.swapaxes(self.data, -1, -2) @ out.grad
+                other._accumulate(_unbroadcast(grad, other.shape))
+
+        out = Tensor._make(out_data, (self, other), backward)
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        return self.matmul(other)
+
+    def dot(self, other) -> "Tensor":
+        return self.matmul(other)
+
+
+def as_tensor(value) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward():
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                slicer = [slice(None)] * out_data.ndim
+                slicer[axis] = slice(start, stop)
+                tensor._accumulate(out.grad[tuple(slicer)])
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward():
+        for i, tensor in enumerate(tensors):
+            if tensor.requires_grad:
+                tensor._accumulate(np.take(out.grad, i, axis=axis))
+
+    out = Tensor._make(out_data, tuple(tensors), backward)
+    return out
+
+
+def where(condition, a, b) -> Tensor:
+    """Elementwise select: gradient flows to the chosen branch."""
+    cond = np.asarray(condition, dtype=bool)
+    a, b = as_tensor(a), as_tensor(b)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward():
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * ~cond, b.shape))
+
+    out = Tensor._make(out_data, (a, b), backward)
+    return out
+
+
+def maximum(a, b) -> Tensor:
+    """Elementwise max of two tensors (ties send gradient to ``a``)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return where(a.data >= b.data, a, b)
+
+
+def minimum(a, b) -> Tensor:
+    """Elementwise min of two tensors (ties send gradient to ``a``)."""
+    a, b = as_tensor(a), as_tensor(b)
+    return where(a.data <= b.data, a, b)

@@ -1,0 +1,26 @@
+"""Shared fixtures for baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return BaselineConfig(
+        embedding_dim=12,
+        hidden_size=16,
+        batch_size=32,
+        epochs=2,
+        word2vec=Word2VecConfig(dim=12, epochs=1),
+    )
+
+
+@pytest.fixture(scope="session")
+def noisy_split():
+    rng = np.random.default_rng(13)
+    train, test = make_dataset("openstack", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    return train, test

@@ -1,0 +1,46 @@
+"""Contract tests every baseline must satisfy (fit/predict interface)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINES, BaselineConfig
+from repro.data import Word2VecConfig
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_fit_predict_contract(name, small_config, noisy_split):
+    train, test = noisy_split
+    model = BASELINES[name](small_config)
+    assert model.name == name
+    model.fit(train, rng=np.random.default_rng(0))
+    labels, scores = model.predict(test)
+    assert labels.shape == (len(test),)
+    assert scores.shape == (len(test),)
+    assert set(np.unique(labels)) <= {0, 1}
+    assert np.isfinite(scores).all()
+
+
+@pytest.mark.parametrize("name", sorted(BASELINES))
+def test_predict_before_fit_raises(name, small_config):
+    model = BASELINES[name](small_config)
+    with pytest.raises(RuntimeError):
+        model.predict(None)
+
+
+def test_registry_covers_paper_models():
+    assert set(BASELINES) == {
+        "DivMix", "ULC", "Sel-CL", "CTRR",
+        "Few-Shot", "CLDet", "DeepLog", "LogBert",
+    }
+
+
+def test_baseline_config_validation():
+    with pytest.raises(ValueError):
+        BaselineConfig(epochs=0)
+    with pytest.raises(ValueError):
+        BaselineConfig(embedding_dim=8, word2vec=Word2VecConfig(dim=16))
+
+
+def test_default_config_created():
+    model = BASELINES["CTRR"]()
+    assert model.config.word2vec is not None

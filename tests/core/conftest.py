@@ -1,0 +1,44 @@
+"""Shared fixtures for core tests: a tiny noisy benchmark + vectorizer."""
+
+import numpy as np
+import pytest
+
+from repro.core import CLFDConfig
+from repro.data import (
+    SessionVectorizer,
+    Word2VecConfig,
+    apply_uniform_noise,
+    make_dataset,
+)
+
+TINY = dict(
+    embedding_dim=12,
+    hidden_size=16,
+    batch_size=32,
+    aux_batch_size=8,
+    ssl_epochs=2,
+    supcon_epochs=6,
+    classifier_epochs=40,
+    word2vec=Word2VecConfig(dim=12, epochs=2),
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return CLFDConfig(**TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    """Small noisy train/test split shared (read-only) across core tests."""
+    rng = np.random.default_rng(11)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def tiny_vectorizer(tiny_data, tiny_config):
+    train, _ = tiny_data
+    return SessionVectorizer.fit(train, tiny_config.word2vec,
+                                 rng=np.random.default_rng(5))

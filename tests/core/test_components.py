@@ -1,0 +1,110 @@
+"""Unit tests for encoder, classifier head and the shared training loop."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import SessionEncoder, SoftmaxClassifier, train_classifier_head
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_session_encoder_shapes(rng):
+    enc = SessionEncoder(8, 12, rng)
+    x = rng.normal(size=(5, 7, 8))
+    z = enc(x, lengths=np.array([7, 5, 3, 2, 1]))
+    assert z.shape == (5, 12)
+
+
+def test_session_encoder_numpy_inference_no_graph(rng):
+    enc = SessionEncoder(8, 12, rng)
+    z = enc.encode_numpy(rng.normal(size=(2, 4, 8)))
+    assert isinstance(z, np.ndarray)
+    assert z.shape == (2, 12)
+
+
+def test_encoder_trains_parameters(rng):
+    enc = SessionEncoder(4, 6, rng)
+    x = rng.normal(size=(3, 5, 4))
+    (enc(x) ** 2).sum().backward()
+    assert all(p.grad is not None for p in enc.parameters())
+
+
+def test_classifier_probs_are_distributions(rng):
+    clf = SoftmaxClassifier(6, rng)
+    probs = clf.probs(rng.normal(size=(10, 6))).data
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+    assert (probs >= 0).all()
+
+
+def test_classifier_predict_numpy(rng):
+    clf = SoftmaxClassifier(6, rng)
+    labels, scores = clf.predict_numpy(rng.normal(size=(4, 6)))
+    assert labels.shape == (4,) and set(labels) <= {0, 1}
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_classifier_custom_hidden_dim(rng):
+    clf = SoftmaxClassifier(6, rng, hidden_dim=3)
+    assert clf.fc1.out_features == 3
+    assert clf.probs(rng.normal(size=(2, 6))).shape == (2, 2)
+
+
+def _separable_problem(rng, n=60):
+    """Two Gaussian blobs in 4-d."""
+    half = n // 2
+    x = np.vstack([rng.normal(loc=2.0, size=(half, 4)),
+                   rng.normal(loc=-2.0, size=(half, 4))])
+    y = np.array([0] * half + [1] * half)
+    return x, y
+
+
+@pytest.mark.parametrize("loss", ["mixup_gce", "gce", "cce"])
+def test_train_classifier_head_learns(loss, rng):
+    x, y = _separable_problem(rng)
+    clf = SoftmaxClassifier(4, rng)
+    history = train_classifier_head(clf, x, y, rng, loss=loss, epochs=60,
+                                    batch_size=30, lr=0.02)
+    pred, _ = clf.predict_numpy(x)
+    assert (pred == y).mean() >= 0.9
+    assert len(history) == 60
+    assert history[-1] < history[0]
+
+
+def test_train_classifier_head_robust_to_noise(rng):
+    """mixup-GCE survives 30% uniform flips on a separable problem."""
+    x, y = _separable_problem(rng, n=200)
+    noisy = y.copy()
+    flips = rng.random(200) < 0.3
+    noisy[flips] = 1 - noisy[flips]
+    clf = SoftmaxClassifier(4, rng)
+    train_classifier_head(clf, x, noisy, rng, loss="mixup_gce", epochs=80,
+                          batch_size=50, lr=0.02)
+    pred, _ = clf.predict_numpy(x)
+    assert (pred == y).mean() >= 0.85
+
+
+def test_train_classifier_head_validation(rng):
+    x, y = _separable_problem(rng, n=10)
+    clf = SoftmaxClassifier(4, rng)
+    with pytest.raises(ValueError):
+        train_classifier_head(clf, x, y, rng, loss="focal")
+    with pytest.raises(ValueError):
+        train_classifier_head(clf, x, y[:-2], rng)
+
+
+def test_train_classifier_head_deterministic(rng):
+    x, y = _separable_problem(rng)
+
+    def fit(seed):
+        clf = SoftmaxClassifier(4, np.random.default_rng(seed))
+        train_classifier_head(clf, x, y, np.random.default_rng(seed),
+                              epochs=5, batch_size=20)
+        return clf.state_dict()
+
+    a, b = fit(3), fit(3)
+    for key in a:
+        np.testing.assert_allclose(a[key], b[key])

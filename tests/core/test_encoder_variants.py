@@ -1,0 +1,80 @@
+"""Tests for the encoder variants wired into the CLFD core."""
+
+import numpy as np
+import pytest
+
+from repro import CLFD
+from repro.core import CLFDConfig, SessionEncoder
+from repro.data import apply_uniform_noise, make_dataset
+from tests.core.conftest import TINY
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.mark.parametrize("cell,expected_factor", [
+    ("lstm", 1), ("gru", 1), ("bilstm", 2),
+])
+def test_encoder_cells_output_dims(cell, expected_factor, rng):
+    encoder = SessionEncoder(8, 12, rng, cell=cell)
+    assert encoder.output_dim == 12 * expected_factor
+    z = encoder(rng.normal(size=(3, 5, 8)), lengths=np.array([5, 3, 1]))
+    assert z.shape == (3, encoder.output_dim)
+
+
+@pytest.mark.parametrize("cell", ["lstm", "gru", "bilstm"])
+def test_attention_pooling_with_each_cell(cell, rng):
+    encoder = SessionEncoder(8, 12, rng, cell=cell, pooling="attention")
+    z = encoder(rng.normal(size=(2, 4, 8)), lengths=np.array([4, 2]))
+    assert z.shape == (2, encoder.output_dim)
+    (z ** 2).sum().backward()
+    assert all(p.grad is not None for p in encoder.parameters())
+
+
+def test_encoder_variant_validation(rng):
+    with pytest.raises(ValueError):
+        SessionEncoder(8, 12, rng, cell="transformer")
+    with pytest.raises(ValueError):
+        SessionEncoder(8, 12, rng, pooling="max")
+
+
+def test_config_validates_variants():
+    with pytest.raises(ValueError):
+        CLFDConfig(encoder_cell="rnn")
+    with pytest.raises(ValueError):
+        CLFDConfig(pooling="sum")
+
+
+@pytest.mark.parametrize("overrides", [
+    {"encoder_cell": "gru"},
+    {"encoder_cell": "bilstm"},
+    {"pooling": "attention"},
+])
+def test_clfd_trains_with_variant(overrides):
+    rng = np.random.default_rng(9)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.1, rng=rng)
+    config = CLFDConfig(**{**TINY, **overrides})
+    model = CLFD(config).fit(train, rng=np.random.default_rng(9))
+    labels, scores = model.predict(test)
+    assert labels.shape == (len(test),)
+    assert np.isfinite(scores).all()
+
+
+def test_variant_persistence_roundtrip(tmp_path):
+    """Saving/loading preserves non-default encoder variants."""
+    from repro.core import load_clfd, save_clfd
+
+    rng = np.random.default_rng(10)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    config = CLFDConfig(**{**TINY, "encoder_cell": "gru"})
+    model = CLFD(config).fit(train, rng=np.random.default_rng(10))
+    path = tmp_path / "gru.npz"
+    save_clfd(model, path)
+    restored = load_clfd(path)
+    assert restored.config.encoder_cell == "gru"
+    labels_a, _ = model.predict(test)
+    labels_b, _ = restored.predict(test)
+    np.testing.assert_array_equal(labels_a, labels_b)

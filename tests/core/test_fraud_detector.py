@@ -1,0 +1,92 @@
+"""Tests for the fraud detector (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FraudDetector
+
+
+@pytest.fixture
+def fitted(tiny_config, tiny_data, tiny_vectorizer):
+    train, _ = tiny_data
+    fd = FraudDetector(tiny_config, tiny_vectorizer, np.random.default_rng(0))
+    # Supervise with ground truth to keep the fixture deterministic/easy.
+    fd.fit(train, train.labels(), np.ones(len(train)))
+    return fd
+
+
+def test_requires_fit(tiny_config, tiny_data, tiny_vectorizer):
+    train, _ = tiny_data
+    fd = FraudDetector(tiny_config, tiny_vectorizer, np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        fd.predict(train)
+    with pytest.raises(RuntimeError):
+        fd.encode(train)
+
+
+def test_fit_validates_shapes(tiny_config, tiny_data, tiny_vectorizer):
+    train, _ = tiny_data
+    fd = FraudDetector(tiny_config, tiny_vectorizer, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        fd.fit(train, np.zeros(3), np.ones(len(train)))
+    with pytest.raises(ValueError):
+        fd.fit(train, train.labels(), np.ones(2))
+
+
+def test_loss_histories_recorded(fitted, tiny_config):
+    assert len(fitted.supcon_loss_history) == tiny_config.supcon_epochs
+    assert len(fitted.classifier_loss_history) == tiny_config.classifier_epochs
+
+
+def test_predict_contract(fitted, tiny_data):
+    _, test = tiny_data
+    labels, scores = fitted.predict(test)
+    assert labels.shape == (len(test),)
+    assert set(np.unique(labels)) <= {0, 1}
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_encode_shape(fitted, tiny_data, tiny_config):
+    _, test = tiny_data
+    z = fitted.encode(test)
+    assert z.shape == (len(test), tiny_config.hidden_size)
+
+
+def test_centroids_fitted(fitted, tiny_config):
+    assert fitted.centroids is not None
+    assert fitted.centroids.shape == (2, tiny_config.hidden_size)
+    # The two class centroids must differ.
+    assert not np.allclose(fitted.centroids[0], fitted.centroids[1])
+
+
+def test_centroid_inference(tiny_config, tiny_data, tiny_vectorizer):
+    from repro.core import CLFDConfig
+
+    train, test = tiny_data
+    config = CLFDConfig(**{**tiny_config.__dict__, "inference": "centroid"})
+    fd = FraudDetector(config, tiny_vectorizer, np.random.default_rng(0))
+    fd.fit(train, train.labels(), np.ones(len(train)))
+    labels, scores = fd.predict(test)
+    assert labels.shape == (len(test),)
+    assert ((scores > 0) & (scores < 1)).all()  # sigmoid of distance gap
+
+
+def test_detector_learns_with_clean_supervision(fitted, tiny_data):
+    """Sanity: supervised by ground truth on separable data, the detector
+    must do much better than chance on the test set."""
+    _, test = tiny_data
+    labels, scores = fitted.predict(test)
+    accuracy = (labels == test.labels()).mean()
+    assert accuracy >= 0.8
+
+
+def test_supcon_separates_classes_in_embedding(fitted, tiny_data):
+    """After sup-con pre-training, same-class test sessions are closer."""
+    _, test = tiny_data
+    z = fitted.encode(test)
+    z = z / (np.linalg.norm(z, axis=1, keepdims=True) + 1e-12)
+    sims = z @ z.T
+    y = test.labels()
+    same = sims[y[:, None] == y[None, :]].mean()
+    diff = sims[y[:, None] != y[None, :]].mean()
+    assert same > diff

@@ -1,0 +1,82 @@
+"""Tests for the label corrector (SimCLR pre-training + mixup-GCE head)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LabelCorrector
+from repro.data import empirical_noise_rates
+
+
+@pytest.fixture
+def corrector(tiny_config, tiny_data, tiny_vectorizer):
+    train, _ = tiny_data
+    lc = LabelCorrector(tiny_config, tiny_vectorizer,
+                        np.random.default_rng(0))
+    lc.fit(train)
+    return lc
+
+
+def test_requires_fit_before_use(tiny_config, tiny_data, tiny_vectorizer):
+    train, _ = tiny_data
+    lc = LabelCorrector(tiny_config, tiny_vectorizer,
+                        np.random.default_rng(0))
+    with pytest.raises(RuntimeError):
+        lc.correct(train)
+    with pytest.raises(RuntimeError):
+        lc.predict(train)
+
+
+def test_fit_records_loss_histories(corrector, tiny_config):
+    assert len(corrector.ssl_loss_history) == tiny_config.ssl_epochs
+    assert len(corrector.classifier_loss_history) == tiny_config.classifier_epochs
+    assert all(np.isfinite(v) for v in corrector.ssl_loss_history)
+
+
+def test_correct_output_contract(corrector, tiny_data):
+    train, _ = tiny_data
+    labels, confidences = corrector.correct(train)
+    assert labels.shape == (len(train),)
+    assert set(np.unique(labels)) <= {0, 1}
+    # Confidences are max softmax outputs: in [0.5, 1] for two classes.
+    assert (confidences >= 0.5 - 1e-9).all()
+    assert (confidences <= 1.0 + 1e-9).all()
+
+
+def test_predict_scores_are_probabilities(corrector, tiny_data):
+    _, test = tiny_data
+    labels, scores = corrector.predict(test)
+    assert labels.shape == (len(test),)
+    assert ((scores >= 0) & (scores <= 1)).all()
+
+
+def test_correct_is_deterministic(corrector, tiny_data):
+    train, _ = tiny_data
+    labels_a, conf_a = corrector.correct(train)
+    labels_b, conf_b = corrector.correct(train)
+    np.testing.assert_array_equal(labels_a, labels_b)
+    np.testing.assert_allclose(conf_a, conf_b)
+
+
+def test_corrector_reduces_noise_on_easy_problem(tiny_config, tiny_vectorizer):
+    """With 20% noise on separable data, corrected labels must beat noisy
+    labels in agreement with ground truth."""
+    import numpy as np
+
+    from repro.data import apply_uniform_noise, make_dataset
+
+    rng = np.random.default_rng(11)
+    train, _ = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+
+    from repro.core import CLFDConfig
+    from repro.data import SessionVectorizer
+
+    config = CLFDConfig.fast(classifier_epochs=60)
+    vec = SessionVectorizer.fit(train, config.word2vec,
+                                rng=np.random.default_rng(5))
+    lc = LabelCorrector(config, vec, np.random.default_rng(0)).fit(train)
+    corrected, _ = lc.correct(train)
+    truth = train.labels()
+    noisy_agreement = (train.noisy_labels() == truth).mean()
+    corrected_agreement = (corrected == truth).mean()
+    assert corrected_agreement > noisy_agreement

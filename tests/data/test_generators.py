@@ -1,0 +1,132 @@
+"""Tests for the synthetic benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_GENERATORS,
+    MALICIOUS,
+    NORMAL,
+    Archetype,
+    CertLikeGenerator,
+    SessionGenerator,
+    SplitSpec,
+    make_dataset,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_make_dataset_counts_follow_spec(name, rng):
+    train, test = make_dataset(name, rng, scale=0.02)
+    spec = DATASET_GENERATORS[name].spec.scaled(0.02)
+    assert train.class_counts() == (spec.train_normal, spec.train_malicious)
+    assert test.class_counts() == (spec.test_normal, spec.test_malicious)
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_sessions_respect_max_length(name, rng):
+    train, test = make_dataset(name, rng, scale=0.02, max_session_length=10)
+    assert train.max_length() <= 10
+    assert test.max_length() <= 10
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_GENERATORS))
+def test_train_test_share_vocab(name, rng):
+    train, test = make_dataset(name, rng, scale=0.02)
+    assert train.vocab is test.vocab
+
+
+def test_unknown_dataset_raises(rng):
+    with pytest.raises(KeyError):
+        make_dataset("imagenet", rng)
+
+
+def test_full_scale_spec_matches_paper():
+    """Counts at scale=1.0 must equal §IV-A1 of the paper."""
+    cert = DATASET_GENERATORS["cert"].spec
+    assert (cert.train_normal, cert.train_malicious) == (10_000, 30)
+    assert (cert.test_normal, cert.test_malicious) == (500, 18)
+    wiki = DATASET_GENERATORS["umd-wikipedia"].spec
+    assert (wiki.train_normal, wiki.train_malicious) == (4486, 80)
+    assert (wiki.test_normal, wiki.test_malicious) == (1000, 500)
+    ops = DATASET_GENERATORS["openstack"].spec
+    assert (ops.train_normal, ops.train_malicious) == (10_000, 60)
+    assert (ops.test_normal, ops.test_malicious) == (1000, 100)
+
+
+def test_spec_scaling_keeps_minimums():
+    spec = SplitSpec(1000, 30, 200, 18).scaled(0.001)
+    assert spec.train_normal >= 60
+    assert spec.train_malicious >= 12
+    assert spec.test_malicious >= 10
+    with pytest.raises(ValueError):
+        SplitSpec(1, 1, 1, 1).scaled(0.0)
+
+
+def test_generation_is_deterministic_per_seed():
+    a_train, _ = make_dataset("cert", np.random.default_rng(3), scale=0.02)
+    b_train, _ = make_dataset("cert", np.random.default_rng(3), scale=0.02)
+    assert [s.activities for s in a_train] == [s.activities for s in b_train]
+
+
+def test_session_diversity_within_class(rng):
+    """Malicious sessions must come from multiple distinct archetypes.
+
+    This is the paper's 'session diversity' challenge: if all malicious
+    sessions shared one template, nearest-neighbour label correction
+    (Sel-CL/CTRR) would trivially work.
+    """
+    gen = CertLikeGenerator()
+    sessions = [gen.sample_session(MALICIOUS, rng) for _ in range(60)]
+    archetypes = {s.session_id.split("-")[1] for s in sessions}
+    assert len(archetypes) >= 3
+
+
+def test_classes_are_statistically_separable(rng):
+    """Token histograms must differ between classes (signal exists)."""
+    gen = CertLikeGenerator()
+    train = gen.generate(100, 100, rng)
+    vocab_size = len(train.vocab)
+    hist = np.zeros((2, vocab_size))
+    for s in train:
+        np.add.at(hist[s.label], s.activities, 1.0)
+    hist /= hist.sum(axis=1, keepdims=True)
+    overlap = np.minimum(hist[0], hist[1]).sum()
+    assert overlap < 0.8  # materially different distributions
+
+
+def test_classes_overlap_somewhat(rng):
+    """The task must not be trivially separable by one token."""
+    gen = CertLikeGenerator()
+    train = gen.generate(100, 100, rng)
+    malicious_tokens = set()
+    normal_tokens = set()
+    for s in train:
+        (malicious_tokens if s.label else normal_tokens).update(s.activities)
+    assert malicious_tokens & normal_tokens  # shared activities exist
+
+
+def test_archetype_jitter_produces_distinct_sessions(rng):
+    arch = Archetype("t", NORMAL, [(["x", "y"], 5, 8)], jitter=0.3)
+    pool = ["x", "y", "z"]
+    samples = {tuple(arch.sample(pool, rng)) for _ in range(20)}
+    assert len(samples) > 1
+
+
+def test_generator_requires_both_classes():
+    class OneSided(SessionGenerator):
+        def _build_archetypes(self):
+            return [Archetype("only", NORMAL, [(["a"], 1, 2)])]
+
+    with pytest.raises(ValueError):
+        OneSided()
+
+
+def test_labels_start_clean(rng):
+    train, _ = make_dataset("openstack", rng, scale=0.02)
+    np.testing.assert_array_equal(train.labels(), train.noisy_labels())

@@ -1,0 +1,191 @@
+"""Tests for raw-log template mining and session assembly."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    LogRecord,
+    LogTemplateMiner,
+    parse_log_records,
+    read_csv_events,
+    sessions_from_records,
+)
+
+
+OPENSTACK_LINES = [
+    "nova instance 3d5c-aa41 spawned on host 10.0.0.3",
+    "nova instance 77fe-bb12 spawned on host 10.0.0.9",
+    "nova instance 3d5c-aa41 terminated after 3600 seconds",
+    "nova instance 77fe-bb12 terminated after 7201 seconds",
+    "scheduler picked host 10.0.0.3 weight 12",
+]
+
+
+def test_miner_groups_variable_fields():
+    miner = LogTemplateMiner()
+    ids = [miner.fit_message(m) for m in OPENSTACK_LINES]
+    # Lines 0/1 and 2/3 differ only by ids/hosts -> same templates.
+    assert ids[0] == ids[1]
+    assert ids[2] == ids[3]
+    assert ids[0] != ids[2] != ids[4]
+    assert len(miner.templates) == 3
+
+
+def test_miner_abstracts_numbers_ids_ips_paths():
+    miner = LogTemplateMiner()
+    miner.fit_message("user copied /home/alice/report.pdf to 10.1.1.5:8080")
+    template = miner.templates[0]
+    assert "<*>" in template
+    assert "10.1.1.5:8080" not in template
+    assert "/home/alice/report.pdf" not in template
+    assert "copied" in template
+
+
+def test_miner_match_without_fit():
+    miner = LogTemplateMiner()
+    known = miner.fit_message("job 123 finished with status 0")
+    assert miner.match_message("job 999 finished with status 1") == known
+    assert miner.match_message("completely different text here now") is None
+    assert len(miner.templates) == 1  # match never creates templates
+
+
+def test_miner_merge_generalises_templates():
+    miner = LogTemplateMiner(similarity=0.5)
+    a = miner.fit_message("disk sda1 usage high")
+    b = miner.fit_message("disk sdb2 usage high")
+    assert a == b
+    assert miner.templates[a].count("<*>") >= 1
+
+
+def test_miner_validation():
+    with pytest.raises(ValueError):
+        LogTemplateMiner(depth=0)
+    with pytest.raises(ValueError):
+        LogTemplateMiner(similarity=0.0)
+
+
+def test_miner_empty_message():
+    miner = LogTemplateMiner()
+    tid = miner.fit_message("")
+    assert miner.templates[tid] == "<*>"
+
+
+def test_parse_log_records_groups_by_entity():
+    records = [
+        LogRecord("vm1", "instance 1 spawned"),
+        LogRecord("vm2", "instance 2 spawned"),
+        LogRecord("vm1", "instance 1 terminated"),
+    ]
+    sequences, miner = parse_log_records(records)
+    assert set(sequences) == {"vm1", "vm2"}
+    assert len(sequences["vm1"]) == 2
+    assert sequences["vm1"][0] == sequences["vm2"][0]  # same template
+
+
+def test_sessions_from_records_end_to_end():
+    records = []
+    for vm in ("vm1", "vm2"):
+        records += [
+            LogRecord(vm, f"instance {vm} created flavor 2", label=0),
+            LogRecord(vm, f"instance {vm} active after 12 seconds", label=0),
+        ]
+    records += [
+        LogRecord("bad", "instance bad created flavor 9", label=1),
+        LogRecord("bad", "instance bad crashed with error 500", label=1),
+    ]
+    dataset = sessions_from_records(records)
+    assert len(dataset) == 3
+    assert dataset.class_counts() == (2, 1)
+    by_id = {s.session_id: s for s in dataset}
+    assert len(by_id["vm1"].activities) == 2
+    # Sessions decode back to mined templates.
+    tokens = dataset.vocab.decode(by_id["bad"].activities)
+    assert any("crashed" in t for t in tokens)
+
+
+def test_sessions_from_records_validation():
+    with pytest.raises(ValueError):
+        sessions_from_records([])
+    conflicting = [LogRecord("e", "msg one", label=0),
+                   LogRecord("e", "msg two", label=1)]
+    with pytest.raises(ValueError):
+        sessions_from_records(conflicting)
+
+
+def test_parsed_sessions_feed_the_pipeline():
+    """Parsed datasets work with the vectorizer + CLFD components."""
+    rng = np.random.default_rng(0)
+    records = []
+    for i in range(30):
+        entity = f"u{i}"
+        label = int(i < 5)
+        verbs = ["opened", "edited", "closed"] if label == 0 \
+            else ["deleted", "exfiltrated", "wiped"]
+        for step, verb in enumerate(verbs * 2):
+            records.append(LogRecord(
+                entity, f"user {entity} {verb} file {step}", label=label))
+    dataset = sessions_from_records(records)
+
+    from repro.data import SessionVectorizer, Word2VecConfig
+
+    vec = SessionVectorizer.fit(dataset, Word2VecConfig(dim=8, epochs=1),
+                                rng=rng)
+    x, lengths = vec.transform(dataset, indices=np.arange(4))
+    assert x.shape == (4, dataset.max_length(), 8)
+
+
+def test_read_csv_events():
+    csv_text = io.StringIO(
+        "user,activity,pc,insider\n"
+        "alice,logon,pc-01,0\n"
+        "alice,email send,pc-01,0\n"
+        "mallory,usb insert,pc-99,1\n"
+    )
+    records = read_csv_events(csv_text, entity_column="user",
+                              message_columns=["activity", "pc"],
+                              label_column="insider")
+    assert len(records) == 3
+    assert records[0].entity == "alice"
+    assert records[0].message == "logon pc-01"
+    assert records[2].label == 1
+
+
+def test_read_csv_events_from_path(tmp_path):
+    path = tmp_path / "events.csv"
+    path.write_text("id,msg\ns1,hello world\n")
+    records = read_csv_events(path, entity_column="id",
+                              message_columns=["msg"])
+    assert records[0].message == "hello world"
+    assert records[0].label == 0
+
+
+def test_frozen_miner_encodes_against_training_templates():
+    miner = LogTemplateMiner()
+    train = sessions_from_records(
+        [LogRecord("a", "job 1 started", label=0),
+         LogRecord("a", "job 1 finished", label=0)],
+        miner=miner,
+    )
+    test = sessions_from_records(
+        [LogRecord("x", "job 9 started", label=0),
+         LogRecord("x", "totally novel message never seen", label=0),
+         LogRecord("y", "job 7 finished", label=1)],
+        miner=miner, grow=False,
+    )
+    # Novel message dropped; matched ids align with the training vocab.
+    by_id = {s.session_id: s for s in test}
+    assert len(by_id["x"].activities) == 1
+    assert by_id["x"].activities[0] == train[0].activities[0]
+    assert len(miner.templates) == 2  # frozen: nothing new was mined
+
+
+def test_frozen_miner_all_unmatched_raises():
+    miner = LogTemplateMiner()
+    miner.fit_message("known message template")
+    with pytest.raises(ValueError):
+        sessions_from_records(
+            [LogRecord("e", "completely different unseen line", label=0)],
+            miner=miner, grow=False,
+        )

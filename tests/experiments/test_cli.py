@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_accepts_all_commands():
+    parser = build_parser()
+    for argv in (["table1"], ["table2"], ["table3"],
+                 ["ablation", "--noise", "class-dependent"], ["latency"],
+                 ["demo", "--dataset", "openstack"]):
+        args = parser.parse_args(argv)
+        assert args.command == argv[0]
+
+
+def test_parser_scale_and_seeds():
+    args = build_parser().parse_args(["--scale", "0.3", "--seeds", "5",
+                                      "table3"])
+    assert args.scale == 0.3
+    assert args.seeds == 5
+
+
+def test_parser_rejects_bad_choice():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["demo", "--dataset", "imagenet"])
+
+
+def test_main_demo_runs(capsys, monkeypatch):
+    """End-to-end CLI smoke test on a tiny scale."""
+    monkeypatch.delenv("REPRO_SCALE", raising=False)
+    code = main(["--scale", "0.02", "demo", "--eta", "0.1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "label corrector" in out
+    assert "f1=" in out
+
+
+def test_main_table1_subset(capsys):
+    code = main(["--scale", "0.02", "table1", "--etas", "0.2",
+                 "--models", "CLFD,DeepLog"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Table I (measured)" in out
+    assert "DeepLog" in out
+
+
+def test_parser_sweep_command():
+    args = build_parser().parse_args(["sweep", "q", "0.5", "0.7"])
+    assert args.command == "sweep"
+    assert args.values == ["0.5", "0.7"]
+
+
+def test_parse_value_literals():
+    from repro.cli import _parse_value
+
+    assert _parse_value("0.5") == 0.5
+    assert _parse_value("3") == 3
+    assert _parse_value("true") is True
+    assert _parse_value("weighted") == "weighted"
+
+
+def test_main_sweep_runs(capsys):
+    code = main(["--scale", "0.02", "sweep", "q", "0.7", "--eta", "0.2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sweep over q" in out

@@ -1,0 +1,42 @@
+"""Tests for the generic configuration sweep runner."""
+
+import pytest
+
+from repro.experiments import format_sweep, sweep_config_field, uniform_noise
+from tests.experiments.test_runner import TinySettings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return TinySettings()
+
+
+def test_sweep_numeric_field(settings):
+    points = sweep_config_field("q", [0.3, 0.7], settings=settings,
+                                noise=uniform_noise(0.2))
+    assert [p.value for p in points] == [0.3, 0.7]
+    for point in points:
+        assert 0 <= point.f1.mean <= 100
+        assert 0 <= point.corrector_tnr.mean <= 100
+
+
+def test_sweep_categorical_field(settings):
+    points = sweep_config_field("supcon_variant",
+                                ["weighted", "unweighted"],
+                                settings=settings,
+                                noise=uniform_noise(0.2))
+    assert len(points) == 2
+
+
+def test_sweep_rejects_unknown_field(settings):
+    with pytest.raises(AttributeError):
+        sweep_config_field("bogus_field", [1], settings=settings)
+
+
+def test_format_sweep(settings):
+    points = sweep_config_field("mixup_beta", [0.3], settings=settings,
+                                noise=uniform_noise(0.2))
+    text = format_sweep("mixup_beta", points)
+    assert "sweep over mixup_beta" in text
+    assert "corrTNR" in text
+    assert "0.3" in text

@@ -1,0 +1,153 @@
+"""Tests for session reordering and mixup augmentation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augment import (
+    mix_representations,
+    reorder_ids,
+    reorder_session,
+    sample_mixup,
+)
+from repro.data import MALICIOUS, NORMAL, Session
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# Session reordering
+# ----------------------------------------------------------------------
+def test_reorder_preserves_multiset(rng):
+    ids = np.arange(1, 11)
+    out = reorder_ids(ids, rng)
+    assert sorted(out) == sorted(ids)
+
+
+def test_reorder_changes_at_most_window(rng):
+    ids = np.arange(1, 11)
+    out = reorder_ids(ids, rng, sub_len=3)
+    changed = np.flatnonzero(out != ids)
+    if changed.size:
+        assert changed.max() - changed.min() < 3
+
+
+def test_reorder_respects_length_mask(rng):
+    """Padding positions beyond `length` must never move."""
+    ids = np.array([5, 6, 7, 0, 0, 0])
+    for _ in range(20):
+        out = reorder_ids(ids, rng, length=3)
+        np.testing.assert_array_equal(out[3:], [0, 0, 0])
+        assert sorted(out[:3]) == [5, 6, 7]
+
+
+def test_reorder_short_sequences(rng):
+    np.testing.assert_array_equal(reorder_ids(np.array([4]), rng), [4])
+    out = reorder_ids(np.array([1, 2]), rng)
+    assert sorted(out) == [1, 2]
+
+
+def test_reorder_rejects_sub_len_one(rng):
+    with pytest.raises(ValueError):
+        reorder_ids(np.arange(5), rng, sub_len=1)
+
+
+def test_reorder_session_copies_metadata(rng):
+    s = Session([1, 2, 3, 4], MALICIOUS, noisy_label=NORMAL,
+                session_id="sess", user="u1")
+    aug = reorder_session(s, rng)
+    assert aug.label == MALICIOUS
+    assert aug.noisy_label == NORMAL
+    assert aug.user == "u1"
+    assert aug.session_id == "sess+aug"
+    assert sorted(aug.activities) == [1, 2, 3, 4]
+    assert s.activities == [1, 2, 3, 4]  # original untouched
+
+
+def test_reorder_eventually_produces_change(rng):
+    ids = np.arange(1, 9)
+    assert any(not np.array_equal(reorder_ids(ids, rng), ids)
+               for _ in range(50))
+
+
+# ----------------------------------------------------------------------
+# Mixup
+# ----------------------------------------------------------------------
+def test_mixup_partners_come_from_opposite_class(rng):
+    labels = np.array([0, 0, 1, 1, 0, 1])
+    batch = sample_mixup(labels, rng)
+    for i, j in enumerate(batch.partner):
+        assert labels[i] != labels[j]
+
+
+def test_mixup_single_class_falls_back(rng):
+    labels = np.zeros(4, dtype=int)
+    batch = sample_mixup(labels, rng)
+    assert set(batch.partner) <= {0, 1, 2, 3}
+
+
+def test_mixup_targets_interpolate(rng):
+    labels = np.array([0, 1])
+    batch = sample_mixup(labels, rng, beta=16.0)
+    lam = batch.lam
+    np.testing.assert_allclose(batch.mixed_targets[0],
+                               [lam[0], 1.0 - lam[0]])
+    np.testing.assert_allclose(batch.mixed_targets[1],
+                               [1.0 - lam[1], lam[1]])
+
+
+def test_mixup_targets_are_distributions(rng):
+    labels = np.array([0, 1, 0, 1, 1, 0, 0, 1])
+    batch = sample_mixup(labels, rng)
+    np.testing.assert_allclose(batch.mixed_targets.sum(axis=1), 1.0)
+    assert (batch.mixed_targets >= 0).all()
+
+
+def test_mixup_beta16_concentrates_near_half(rng):
+    labels = np.tile([0, 1], 500)
+    batch = sample_mixup(labels, rng, beta=16.0, anchor_dominant=False)
+    assert abs(batch.lam.mean() - 0.5) < 0.02
+    assert batch.lam.std() < 0.15
+
+
+def test_mixup_anchor_dominant_keeps_majority_weight(rng):
+    """Default λ' = max(λ, 1-λ): anchors keep >= half the weight, so the
+    mixed targets' class prior follows the data (not 50/50)."""
+    labels = np.array([0] * 90 + [1] * 10)
+    batch = sample_mixup(labels, rng, beta=0.3)
+    assert (batch.lam >= 0.5).all()
+    malicious_mass = batch.mixed_targets[:, 1].mean()
+    assert malicious_mass < 0.4  # prior ~0.1 stays nearer 0.1 than 0.5
+
+
+def test_mixup_validation(rng):
+    with pytest.raises(ValueError):
+        sample_mixup(np.array([0, 1]), rng, beta=0.0)
+    with pytest.raises(ValueError):
+        sample_mixup(np.array([0]), rng)
+
+
+def test_mix_representations_values_and_grads(rng):
+    labels = np.array([0, 1, 0, 1])
+    batch = sample_mixup(labels, rng)
+    z = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    mixed = mix_representations(z, batch)
+    expected = (batch.lam[:, None] * z.data
+                + (1 - batch.lam)[:, None] * z.data[batch.partner])
+    np.testing.assert_allclose(mixed.data, expected)
+    mixed.sum().backward()
+    assert z.grad is not None and np.isfinite(z.grad).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       beta=st.floats(min_value=0.1, max_value=32.0))
+def test_mixup_lambda_in_unit_interval(seed, beta):
+    labels = np.array([0, 1, 1, 0, 1])
+    batch = sample_mixup(labels, np.random.default_rng(seed), beta=beta)
+    assert ((batch.lam >= 0) & (batch.lam <= 1)).all()

@@ -1,0 +1,187 @@
+"""Tests for NT-Xent and supervised contrastive losses."""
+
+import numpy as np
+import pytest
+
+from repro.losses import nt_xent_loss, sup_con_loss
+from repro.nn import Adam, Parameter, Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def _unit_rows(matrix):
+    matrix = np.asarray(matrix, dtype=float)
+    return matrix / np.linalg.norm(matrix, axis=1, keepdims=True)
+
+
+# ----------------------------------------------------------------------
+# NT-Xent
+# ----------------------------------------------------------------------
+def test_nt_xent_low_when_views_aligned(rng):
+    base = rng.normal(size=(8, 6))
+    aligned = nt_xent_loss(Tensor(base), Tensor(base * 3.0)).item()
+    shuffled = nt_xent_loss(Tensor(base),
+                            Tensor(base[rng.permutation(8)])).item()
+    assert aligned < shuffled
+
+
+def test_nt_xent_validates_inputs():
+    with pytest.raises(ValueError):
+        nt_xent_loss(Tensor(np.ones((2, 3))), Tensor(np.ones((3, 3))))
+    with pytest.raises(ValueError):
+        nt_xent_loss(Tensor(np.ones((2, 3))), Tensor(np.ones((2, 3))),
+                     temperature=0.0)
+
+
+def test_nt_xent_training_aligns_views(rng):
+    """Minimising NT-Xent through an encoder pulls paired views together."""
+    w = Parameter(rng.normal(scale=0.5, size=(4, 4)))
+    x_a = rng.normal(size=(12, 4))
+    x_b = x_a + rng.normal(scale=0.3, size=(12, 4))
+    opt = Adam([w], lr=0.05)
+
+    def pair_cos():
+        za, zb = x_a @ w.data, x_b @ w.data
+        za = _unit_rows(za)
+        zb = _unit_rows(zb)
+        return float((za * zb).sum(axis=1).mean())
+
+    before = pair_cos()
+    for _ in range(40):
+        opt.zero_grad()
+        loss = nt_xent_loss(Tensor(x_a) @ w, Tensor(x_b) @ w, temperature=0.5)
+        loss.backward()
+        opt.step()
+    assert pair_cos() > before
+
+
+def test_nt_xent_gradient_flows(rng):
+    z_a = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    z_b = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+    nt_xent_loss(z_a, z_b).backward()
+    assert z_a.grad is not None and np.isfinite(z_a.grad).all()
+    assert z_b.grad is not None
+
+
+# ----------------------------------------------------------------------
+# Supervised contrastive
+# ----------------------------------------------------------------------
+def test_sup_con_lower_when_classes_clustered(rng):
+    labels = np.array([0, 0, 0, 1, 1, 1])
+    clustered = np.vstack([np.tile([1.0, 0.0], (3, 1)) + rng.normal(scale=0.05, size=(3, 2)),
+                           np.tile([0.0, 1.0], (3, 1)) + rng.normal(scale=0.05, size=(3, 2))])
+    mixed = rng.normal(size=(6, 2))
+    conf = np.ones(6)
+    low = sup_con_loss(Tensor(clustered), labels, confidences=conf).item()
+    high = sup_con_loss(Tensor(mixed), labels, confidences=conf).item()
+    assert low < high
+
+
+def test_sup_con_confidence_weighting_shrinks_loss(rng):
+    """Low-confidence pairs contribute less (Eq. 5): scaling all c by 0.5
+    scales the loss by 0.25."""
+    z = Tensor(rng.normal(size=(6, 4)))
+    labels = np.array([0, 1, 0, 1, 0, 1])
+    full = sup_con_loss(z, labels, confidences=np.ones(6)).item()
+    half = sup_con_loss(z, labels, confidences=np.full(6, 0.5)).item()
+    assert half == pytest.approx(0.25 * full, rel=1e-9)
+
+
+def test_sup_con_unweighted_equals_confidence_one(rng):
+    z = Tensor(rng.normal(size=(5, 3)))
+    labels = np.array([0, 0, 1, 1, 1])
+    weighted = sup_con_loss(z, labels, confidences=np.ones(5),
+                            variant="weighted").item()
+    unweighted = sup_con_loss(z, labels, variant="unweighted").item()
+    assert weighted == pytest.approx(unweighted)
+
+
+def test_sup_con_filtered_drops_low_confidence_pairs(rng):
+    z = Tensor(rng.normal(size=(4, 3)))
+    labels = np.array([0, 0, 1, 1])
+    conf = np.array([0.6, 0.6, 0.99, 0.99])
+    # τ=0.7: the (0,1) pair (0.36) is dropped; (2,3) pair (0.98) kept.
+    filtered = sup_con_loss(z, labels, confidences=conf, variant="filtered",
+                            threshold=0.7)
+    unfiltered = sup_con_loss(z, labels, variant="unweighted")
+    assert 0.0 < filtered.item() < unfiltered.item()
+    # With everything below threshold the loss is exactly zero.
+    all_low = sup_con_loss(z, labels, confidences=np.full(4, 0.5),
+                           variant="filtered", threshold=0.7)
+    assert all_low.item() == pytest.approx(0.0)
+
+
+def test_sup_con_auxiliary_rows_are_not_anchors(rng):
+    """Rows beyond num_anchors join denominators/positives but never anchor."""
+    z_data = rng.normal(size=(6, 4))
+    labels = np.array([0, 1, 0, 1, 1, 1])
+    # Anchor rows only: loss over first 4 with S1 = rows 4..5.
+    loss = sup_con_loss(Tensor(z_data), labels, confidences=np.ones(6),
+                        num_anchors=4)
+    assert np.isfinite(loss.item())
+    # Identical anchors, different auxiliary rows => different loss
+    z2 = z_data.copy()
+    z2[4:] = rng.normal(size=(2, 4))
+    loss2 = sup_con_loss(Tensor(z2), labels, confidences=np.ones(6),
+                         num_anchors=4)
+    assert loss.item() != pytest.approx(loss2.item())
+
+
+def test_sup_con_single_class_batch_is_finite(rng):
+    z = Tensor(rng.normal(size=(4, 3)))
+    labels = np.zeros(4, dtype=int)
+    value = sup_con_loss(z, labels, variant="unweighted").item()
+    assert np.isfinite(value)
+
+
+def test_sup_con_anchor_without_positives_contributes_zero(rng):
+    """A lone-class anchor has empty B(x_i) and must not produce NaN."""
+    z = Tensor(rng.normal(size=(3, 3)))
+    labels = np.array([0, 1, 1])
+    value = sup_con_loss(z, labels, variant="unweighted").item()
+    assert np.isfinite(value)
+
+
+def test_sup_con_validation(rng):
+    z = Tensor(rng.normal(size=(4, 3)))
+    labels = np.array([0, 1, 0, 1])
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels[:2])
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels, temperature=0.0, variant="unweighted")
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels, variant="weighted")  # missing confidences
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels, variant="bogus")
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels, variant="unweighted", num_anchors=9)
+    with pytest.raises(ValueError):
+        sup_con_loss(z, labels, confidences=np.ones(3))
+
+
+def test_sup_con_training_clusters_classes(rng):
+    """Minimising L_Sup through a linear encoder separates the classes."""
+    x = np.vstack([rng.normal(loc=(1.0, 0.0), scale=0.6, size=(10, 2)),
+                   rng.normal(loc=(-1.0, 0.0), scale=0.6, size=(10, 2))])
+    labels = np.array([0] * 10 + [1] * 10)
+    w = Parameter(rng.normal(scale=0.3, size=(2, 4)))
+    opt = Adam([w], lr=0.03)
+
+    def intra_vs_inter():
+        z = _unit_rows(x @ w.data)
+        sims = z @ z.T
+        same = sims[labels[:, None] == labels[None, :]].mean()
+        diff = sims[labels[:, None] != labels[None, :]].mean()
+        return same - diff
+
+    before = intra_vs_inter()
+    for _ in range(60):
+        opt.zero_grad()
+        loss = sup_con_loss(Tensor(x) @ w, labels, confidences=np.ones(20),
+                            temperature=0.5)
+        loss.backward()
+        opt.step()
+    assert intra_vs_inter() > before

@@ -1,0 +1,89 @@
+"""Tests for decision-threshold utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    best_f1_threshold,
+    operating_points,
+    precision_recall_f1,
+    threshold_at_fpr,
+)
+
+
+def test_best_f1_threshold_separable():
+    y = np.array([0, 0, 0, 1, 1])
+    scores = np.array([0.1, 0.2, 0.3, 0.8, 0.9])
+    threshold, f1 = best_f1_threshold(y, scores)
+    assert 0.3 <= threshold < 0.8
+    assert f1 == pytest.approx(100.0)
+
+
+def test_best_f1_threshold_beats_default_half():
+    """When scores are shifted, the tuned threshold beats 0.5."""
+    rng = np.random.default_rng(0)
+    y = np.r_[np.zeros(80, dtype=int), np.ones(20, dtype=int)]
+    scores = np.r_[rng.uniform(0.5, 0.7, 80), rng.uniform(0.65, 0.9, 20)]
+    threshold, tuned_f1 = best_f1_threshold(y, scores)
+    _, _, default_f1 = precision_recall_f1(y, (scores > 0.5).astype(int))
+    assert tuned_f1 >= default_f1
+
+
+def test_threshold_at_fpr_budget():
+    y = np.r_[np.zeros(100, dtype=int), np.ones(10, dtype=int)]
+    rng = np.random.default_rng(1)
+    scores = np.r_[rng.uniform(0, 0.6, 100), rng.uniform(0.4, 1.0, 10)]
+    threshold = threshold_at_fpr(y, scores, max_fpr=5.0)
+    fpr = ((scores > threshold) & (y == 0)).sum() / 100 * 100
+    assert fpr <= 5.0
+
+
+def test_threshold_at_fpr_hundred_percent_flags_all():
+    y = np.array([0, 1, 0, 1])
+    scores = np.array([0.1, 0.9, 0.2, 0.8])
+    threshold = threshold_at_fpr(y, scores, max_fpr=100.0)
+    assert (scores > threshold).all()
+
+
+def test_threshold_at_fpr_no_negatives():
+    threshold = threshold_at_fpr([1, 1], [0.5, 0.7], max_fpr=1.0)
+    assert threshold < 0.5
+
+
+def test_operating_points_rows():
+    y = np.array([0, 1, 0, 1, 1])
+    scores = np.array([0.2, 0.9, 0.4, 0.7, 0.6])
+    rows = operating_points(y, scores, thresholds=[0.3, 0.5, 0.8])
+    assert len(rows) == 3
+    for row in rows:
+        assert {"threshold", "f1", "recall", "fpr"} <= set(row)
+    # Recall is non-increasing in the threshold.
+    recalls = [row["recall"] for row in rows]
+    assert all(a >= b for a, b in zip(recalls, recalls[1:]))
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        best_f1_threshold([], [])
+    with pytest.raises(ValueError):
+        best_f1_threshold([0, 2], [0.1, 0.2])
+    with pytest.raises(ValueError):
+        threshold_at_fpr([0, 1], [0.1, 0.2], max_fpr=150.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=4, max_value=40),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_best_f1_is_global_max_property(n, seed):
+    """Property: no candidate threshold beats the returned one."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    if y.sum() == 0:
+        y[0] = 1
+    scores = rng.random(n)
+    threshold, f1 = best_f1_threshold(y, scores)
+    for candidate in np.unique(scores):
+        _, _, other = precision_recall_f1(y, (scores > candidate).astype(int))
+        assert other <= f1 + 1e-9

@@ -1,0 +1,149 @@
+"""Property-based tests of autograd algebraic identities.
+
+Beyond finite-difference checks, the gradients of a correct autograd
+engine satisfy exact algebraic identities (linearity, product rule,
+chain rule, symmetry).  Hypothesis explores these over random shapes
+and values.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor
+
+shapes = st.tuples(st.integers(min_value=1, max_value=4),
+                   st.integers(min_value=1, max_value=4))
+
+
+def _grad_of(fn, x_data):
+    x = Tensor(x_data, requires_grad=True)
+    fn(x).backward()
+    return x.grad
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=10_000),
+       a=st.floats(min_value=-3, max_value=3),
+       b=st.floats(min_value=-3, max_value=3))
+def test_gradient_linearity(shape, seed, a, b):
+    """grad(a·f + b·g) == a·grad(f) + b·grad(g)."""
+    x_data = np.random.default_rng(seed).normal(size=shape)
+    f = lambda x: (x ** 2).sum()
+    g = lambda x: x.tanh().sum()
+    combined = _grad_of(lambda x: f(x) * a + g(x) * b, x_data)
+    expected = a * _grad_of(f, x_data) + b * _grad_of(g, x_data)
+    np.testing.assert_allclose(combined, expected, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=10_000))
+def test_product_rule(shape, seed):
+    """grad(f·g) == g·grad(f) + f·grad(g) for scalar f, g."""
+    x_data = np.random.default_rng(seed).normal(size=shape)
+    f = lambda x: (x ** 2).sum()
+    g = lambda x: (x.sigmoid()).sum()
+
+    x = Tensor(x_data, requires_grad=True)
+    (f(x) * g(x)).backward()
+    product_grad = x.grad
+
+    f_val = float(f(Tensor(x_data)).data)
+    g_val = float(g(Tensor(x_data)).data)
+    expected = g_val * _grad_of(f, x_data) + f_val * _grad_of(g, x_data)
+    np.testing.assert_allclose(product_grad, expected, atol=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=shapes, seed=st.integers(min_value=0, max_value=10_000))
+def test_sum_gradient_is_ones(shape, seed):
+    x_data = np.random.default_rng(seed).normal(size=shape)
+    np.testing.assert_allclose(_grad_of(lambda x: x.sum(), x_data),
+                               np.ones(shape))
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_softmax_gradient_rows_sum_to_zero(n, seed):
+    """Softmax outputs sum to 1, so any loss gradient through softmax
+    has zero row-sum in logit space."""
+    rng = np.random.default_rng(seed)
+    logits = Tensor(rng.normal(size=(3, n)), requires_grad=True)
+    weights = Tensor(rng.normal(size=(3, n)))
+    (nn.softmax(logits) * weights).sum().backward()
+    np.testing.assert_allclose(logits.grad.sum(axis=1), 0.0, atol=1e-10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=2, max_value=6),
+       seed=st.integers(min_value=0, max_value=10_000))
+def test_l2_normalize_gradient_orthogonal_to_output(n, seed):
+    """d/dx ||x/|x|| moves on the sphere: grad ⟂ normalized vector when
+    the downstream loss is linear in the output direction components."""
+    rng = np.random.default_rng(seed)
+    x_data = rng.normal(size=(1, n)) + 0.1
+    direction = rng.normal(size=(1, n))
+    x = Tensor(x_data, requires_grad=True)
+    (nn.l2_normalize(x) * Tensor(direction)).sum().backward()
+    unit = x_data / np.linalg.norm(x_data)
+    # Radial movement cannot change the normalized output.
+    assert abs(float((x.grad * unit).sum())) < 1e-8
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       rows=st.integers(min_value=1, max_value=4),
+       inner=st.integers(min_value=1, max_value=4),
+       cols=st.integers(min_value=1, max_value=4))
+def test_matmul_trace_symmetry(seed, rows, inner, cols):
+    """d/dA tr(ABᵀ·M) identities: grad of sum(A@B) wrt A is ones @ Bᵀ."""
+    rng = np.random.default_rng(seed)
+    a_data = rng.normal(size=(rows, inner))
+    b_data = rng.normal(size=(inner, cols))
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    (a @ b).sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones((rows, cols)) @ b_data.T)
+    np.testing.assert_allclose(b.grad, a_data.T @ np.ones((rows, cols)))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000), shape=shapes)
+def test_detached_branch_receives_no_gradient(seed, shape):
+    x_data = np.random.default_rng(seed).normal(size=shape)
+    x = Tensor(x_data, requires_grad=True)
+    (x.detach() * 3.0 + x).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones(shape))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       n=st.integers(min_value=2, max_value=8))
+def test_layernorm_output_statistics(seed, n):
+    """Property: LayerNorm(γ=1, β=0) output always has ~zero mean and
+    ~unit variance per row, whatever the input."""
+    rng = np.random.default_rng(seed)
+    layer = nn.LayerNorm(n)
+    x = Tensor(rng.normal(loc=rng.uniform(-5, 5),
+                          scale=rng.uniform(0.5, 4), size=(3, n)))
+    out = layer(x).data
+    np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+    # ε in the denominator shrinks the variance to exactly v/(v+ε);
+    # rows with tiny variance (possible at small n) shrink a lot.
+    v = x.data.var(axis=-1)
+    np.testing.assert_allclose(out.var(axis=-1), v / (v + layer.eps),
+                               rtol=1e-6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_lstm_gradients_finite_on_extreme_inputs(seed):
+    """Stability: huge inputs must not produce NaN/inf gradients."""
+    rng = np.random.default_rng(seed)
+    lstm = nn.LSTM(3, 4, rng, num_layers=1)
+    x = Tensor(rng.normal(scale=100.0, size=(2, 5, 3)), requires_grad=True)
+    (lstm.mean_pool(x) ** 2).sum().backward()
+    assert np.isfinite(x.grad).all()
+    assert all(np.isfinite(p.grad).all() for p in lstm.parameters())

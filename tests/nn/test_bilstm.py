@@ -1,0 +1,109 @@
+"""Tests for BiLSTM and attention pooling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bilstm_output_width(rng):
+    bilstm = nn.BiLSTM(5, 7, rng)
+    out = bilstm(Tensor(rng.normal(size=(3, 6, 5))))
+    assert out.shape == (3, 6, 14)
+    assert bilstm.output_size == 14
+
+
+def test_bilstm_rejects_2d(rng):
+    with pytest.raises(ValueError):
+        nn.BiLSTM(5, 7, rng)(Tensor(np.zeros((3, 5))))
+
+
+def test_bilstm_uses_future_context(rng):
+    """Changing a later step must change an earlier step's output
+    (impossible for a unidirectional LSTM)."""
+    bilstm = nn.BiLSTM(3, 4, rng)
+    x = rng.normal(size=(1, 5, 3))
+    altered = x.copy()
+    altered[0, 4, :] += 5.0
+    out_a = bilstm(Tensor(x)).data[0, 0]
+    out_b = bilstm(Tensor(altered)).data[0, 0]
+    assert not np.allclose(out_a, out_b)
+
+    # Forward half (first hidden_size dims) must be unaffected.
+    np.testing.assert_allclose(out_a[:4], out_b[:4])
+
+
+def test_bilstm_mean_pool_masks_padding(rng):
+    bilstm = nn.BiLSTM(3, 4, rng)
+    x = rng.normal(size=(1, 6, 3))
+    altered = x.copy()
+    altered[0, 5, :] = 9.0
+    lengths = np.array([5])
+    a = bilstm.mean_pool(Tensor(x), lengths).data
+    b = bilstm.mean_pool(Tensor(altered), lengths).data
+    # The backward pass runs over padding, so only require the pooled
+    # forward half to be identical and the result finite.
+    np.testing.assert_allclose(a[:, :4], b[:, :4])
+    assert np.isfinite(a).all()
+
+
+def test_bilstm_gradients_flow(rng):
+    bilstm = nn.BiLSTM(3, 4, rng, num_layers=1)
+    x = Tensor(rng.normal(size=(2, 4, 3)), requires_grad=True)
+    (bilstm.mean_pool(x) ** 2).sum().backward()
+    assert x.grad is not None
+    assert all(p.grad is not None for p in bilstm.parameters())
+
+
+def test_attention_pooling_shape_and_weights(rng):
+    pool = nn.AttentionPooling(6, rng)
+    out = pool(Tensor(rng.normal(size=(4, 5, 6))))
+    assert out.shape == (4, 6)
+
+
+def test_attention_pooling_masks_padding(rng):
+    pool = nn.AttentionPooling(6, rng)
+    x = rng.normal(size=(1, 5, 6))
+    altered = x.copy()
+    altered[0, 3:, :] = 50.0
+    lengths = np.array([3])
+    np.testing.assert_allclose(
+        pool(Tensor(x), lengths).data,
+        pool(Tensor(altered), lengths).data,
+        atol=1e-10,
+    )
+
+
+def test_attention_pooling_selects_salient_step(rng):
+    """Trainable: attention learns to pool the step that matters."""
+    pool = nn.AttentionPooling(4, rng)
+    head = nn.Linear(4, 2, rng)
+    opt = nn.Adam(pool.parameters() + head.parameters(), lr=0.05)
+    # Label depends only on step 2.
+    x = rng.normal(size=(32, 5, 4))
+    labels = (x[:, 2, 0] > 0).astype(int)
+    for _ in range(80):
+        opt.zero_grad()
+        loss = nn.cross_entropy(head(pool(Tensor(x))), labels)
+        loss.backward()
+        opt.step()
+    pred = np.argmax(head(pool(Tensor(x))).data, axis=1)
+    assert (pred == labels).mean() >= 0.9
+
+
+def test_attention_pooling_gradcheck(rng):
+    pool = nn.AttentionPooling(3, rng)
+    x = Tensor(rng.normal(scale=0.5, size=(2, 4, 3)), requires_grad=True)
+    check_gradients(lambda: (pool(x) ** 2).sum(),
+                    [x, pool.proj, pool.query], atol=1e-4)
+
+
+def test_attention_pooling_rejects_2d(rng):
+    with pytest.raises(ValueError):
+        nn.AttentionPooling(3, rng)(Tensor(np.zeros((2, 3))))

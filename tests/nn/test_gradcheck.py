@@ -1,0 +1,159 @@
+"""Finite-difference gradient checks for every differentiable building block."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+def _rand(shape, seed, scale=0.5):
+    return np.random.default_rng(seed).normal(scale=scale, size=shape)
+
+
+@pytest.mark.parametrize("op", [
+    lambda x: x.exp(),
+    lambda x: x.tanh(),
+    lambda x: x.sigmoid(),
+    lambda x: x.relu(),
+    lambda x: x.leaky_relu(0.1),
+    lambda x: x.gelu(),
+    lambda x: x * x,
+    lambda x: (x + 1.0) * (x - 2.0),
+])
+def test_elementwise_ops_gradcheck(op):
+    x = Tensor(_rand((3, 4), 0) + 0.1, requires_grad=True)
+    check_gradients(lambda: op(x).sum(), [x])
+
+
+def test_log_gradcheck_positive_domain():
+    x = Tensor(np.abs(_rand((3, 3), 1)) + 0.5, requires_grad=True)
+    check_gradients(lambda: x.log().sum(), [x])
+
+
+def test_pow_gradcheck():
+    x = Tensor(np.abs(_rand((4,), 2)) + 0.5, requires_grad=True)
+    check_gradients(lambda: (x ** 0.7).sum(), [x])
+
+
+def test_matmul_gradcheck_both_sides():
+    a = Tensor(_rand((3, 4), 3), requires_grad=True)
+    b = Tensor(_rand((4, 2), 4), requires_grad=True)
+    check_gradients(lambda: ((a @ b) ** 2).sum(), [a, b])
+
+
+def test_matmul_batched_by_vector_gradcheck():
+    """(B, T, D) @ (D,) — the attention-pooling score pattern."""
+    a = Tensor(_rand((2, 3, 4), 30), requires_grad=True)
+    v = Tensor(_rand((4,), 31), requires_grad=True)
+    check_gradients(lambda: ((a @ v) ** 2).sum(), [a, v])
+
+
+def test_matmul_matrix_by_vector_gradcheck():
+    a = Tensor(_rand((3, 4), 32), requires_grad=True)
+    v = Tensor(_rand((4,), 33), requires_grad=True)
+    check_gradients(lambda: ((a @ v) ** 2).sum(), [a, v])
+
+
+def test_batched_matmul_gradcheck():
+    a = Tensor(_rand((2, 3, 4), 5), requires_grad=True)
+    b = Tensor(_rand((2, 4, 3), 6), requires_grad=True)
+    check_gradients(lambda: ((a @ b).tanh()).sum(), [a, b])
+
+
+def test_softmax_gradcheck():
+    x = Tensor(_rand((4, 5), 7), requires_grad=True)
+    weights = Tensor(_rand((4, 5), 8))
+    check_gradients(lambda: (nn.softmax(x) * weights).sum(), [x])
+
+
+def test_log_softmax_gradcheck():
+    x = Tensor(_rand((3, 4), 9), requires_grad=True)
+    check_gradients(lambda: (nn.log_softmax(x) ** 2).sum(), [x])
+
+
+def test_cross_entropy_gradcheck():
+    logits = Tensor(_rand((5, 2), 10), requires_grad=True)
+    labels = np.array([0, 1, 1, 0, 1])
+    check_gradients(lambda: nn.cross_entropy(logits, labels), [logits])
+
+
+def test_l2_normalize_gradcheck():
+    x = Tensor(_rand((3, 6), 11) + 0.2, requires_grad=True)
+    target = Tensor(_rand((3, 6), 12))
+    check_gradients(lambda: ((nn.l2_normalize(x) - target) ** 2).sum(), [x])
+
+
+def test_cosine_similarity_matrix_gradcheck():
+    a = Tensor(_rand((4, 5), 13) + 0.1, requires_grad=True)
+    check_gradients(lambda: nn.cosine_similarity_matrix(a).sum(), [a])
+
+
+def test_linear_layer_gradcheck():
+    rng = np.random.default_rng(14)
+    layer = nn.Linear(4, 3, rng)
+    x = Tensor(_rand((2, 4), 15), requires_grad=True)
+    check_gradients(lambda: (layer(x) ** 2).sum(),
+                    [x, layer.weight, layer.bias])
+
+
+def test_layernorm_gradcheck():
+    layer = nn.LayerNorm(6)
+    x = Tensor(_rand((3, 6), 16), requires_grad=True)
+    target = Tensor(_rand((3, 6), 17))
+    check_gradients(lambda: ((layer(x) - target) ** 2).sum(),
+                    [x, layer.gamma, layer.beta])
+
+
+def test_embedding_gradcheck():
+    rng = np.random.default_rng(18)
+    emb = nn.Embedding(7, 3, rng)
+    ids = np.array([[0, 2, 2], [5, 1, 6]])
+    check_gradients(lambda: (emb(ids) ** 2).sum(), [emb.weight])
+
+
+def test_lstm_cell_gradcheck():
+    rng = np.random.default_rng(19)
+    cell = nn.LSTMCell(3, 4, rng)
+    x = Tensor(_rand((2, 3), 20), requires_grad=True)
+
+    def fn():
+        h, c = cell(x, cell.initial_state(2))
+        return (h * h).sum() + (c * c).sum()
+
+    check_gradients(fn, [x, cell.w_x, cell.w_h, cell.bias], atol=1e-4)
+
+
+def test_lstm_sequence_gradcheck():
+    rng = np.random.default_rng(21)
+    lstm = nn.LSTM(3, 4, rng, num_layers=2)
+    x = Tensor(_rand((2, 5, 3), 22), requires_grad=True)
+    params = [x] + lstm.parameters()
+    check_gradients(lambda: (lstm.mean_pool(x) ** 2).sum(), params, atol=1e-4)
+
+
+def test_attention_gradcheck():
+    rng = np.random.default_rng(23)
+    attn = nn.MultiHeadAttention(4, 2, rng)
+    x = Tensor(_rand((2, 3, 4), 24), requires_grad=True)
+    check_gradients(lambda: (attn(x) ** 2).sum(), [x], atol=1e-4)
+
+
+def test_transformer_layer_gradcheck():
+    rng = np.random.default_rng(25)
+    layer = nn.TransformerEncoderLayer(4, 2, 8, rng)
+    x = Tensor(_rand((1, 3, 4), 26), requires_grad=True)
+    check_gradients(lambda: (layer(x) ** 2).sum(), [x], atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4),
+       st.integers(min_value=0, max_value=10_000))
+def test_sum_of_products_gradcheck_property(rows, cols, seed):
+    """Property: autograd matches finite differences on random bilinear maps."""
+    rng = np.random.default_rng(seed)
+    a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    b = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
+    check_gradients(lambda: (a * b + a ** 2).sum(), [a, b])

@@ -1,0 +1,159 @@
+"""Tests for the GRU layers and training-loop utilities."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor, check_gradients
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+# ----------------------------------------------------------------------
+# GRU
+# ----------------------------------------------------------------------
+def test_gru_shapes(rng):
+    gru = nn.GRU(6, 9, rng, num_layers=2)
+    outputs, h = gru(Tensor(rng.normal(size=(4, 7, 6))))
+    assert outputs.shape == (4, 7, 9)
+    assert h.shape == (4, 9)
+
+
+def test_gru_final_state_matches_last_output(rng):
+    gru = nn.GRU(3, 5, rng, num_layers=1)
+    outputs, h = gru(Tensor(rng.normal(size=(2, 4, 3))))
+    np.testing.assert_allclose(outputs.data[:, -1, :], h.data)
+
+
+def test_gru_validation(rng):
+    with pytest.raises(ValueError):
+        nn.GRU(3, 5, rng, num_layers=0)
+    gru = nn.GRU(3, 5, rng)
+    with pytest.raises(ValueError):
+        gru(Tensor(np.zeros((2, 3))))
+
+
+def test_gru_mean_pool_masks_padding(rng):
+    gru = nn.GRU(3, 5, rng)
+    x = rng.normal(size=(1, 6, 3))
+    altered = x.copy()
+    altered[0, 4:, :] = 77.0
+    lengths = np.array([4])
+    np.testing.assert_allclose(
+        gru.mean_pool(Tensor(x), lengths).data,
+        gru.mean_pool(Tensor(altered), lengths).data,
+    )
+
+
+def test_gru_cell_gradcheck(rng):
+    cell = nn.GRUCell(3, 4, rng)
+    x = Tensor(rng.normal(scale=0.5, size=(2, 3)), requires_grad=True)
+
+    def fn():
+        h = cell(x, cell.initial_state(2))
+        return (h * h).sum()
+
+    check_gradients(fn, [x] + cell.parameters(), atol=1e-4)
+
+
+def test_gru_sequence_gradcheck(rng):
+    gru = nn.GRU(3, 4, rng, num_layers=2)
+    x = Tensor(rng.normal(scale=0.5, size=(2, 4, 3)), requires_grad=True)
+    check_gradients(lambda: (gru.mean_pool(x) ** 2).sum(),
+                    [x] + gru.parameters(), atol=1e-4)
+
+
+def test_gru_fewer_parameters_than_lstm(rng):
+    gru = nn.GRU(8, 16, rng)
+    lstm = nn.LSTM(8, 16, np.random.default_rng(0))
+    assert sum(p.size for p in gru.parameters()) < \
+        sum(p.size for p in lstm.parameters())
+
+
+def test_gru_trains_on_toy_task(rng):
+    gru = nn.GRU(4, 8, rng, num_layers=1)
+    head = nn.Linear(8, 2, rng)
+    opt = nn.Adam(gru.parameters() + head.parameters(), lr=0.02)
+    x = rng.normal(size=(16, 5, 4))
+    labels = (x[:, 0, 0] > 0).astype(int)
+    for _ in range(60):
+        opt.zero_grad()
+        loss = nn.cross_entropy(head(gru.mean_pool(Tensor(x))), labels)
+        loss.backward()
+        opt.step()
+    preds = np.argmax(head(gru.mean_pool(Tensor(x))).data, axis=1)
+    assert (preds == labels).mean() >= 0.9
+
+
+# ----------------------------------------------------------------------
+# Schedulers
+# ----------------------------------------------------------------------
+def _opt():
+    p = nn.Parameter(np.zeros(1))
+    return nn.SGD([p], lr=1.0)
+
+
+def test_step_lr_decays_in_steps():
+    sched = nn.StepLR(_opt(), step_size=2, gamma=0.5)
+    rates = [sched.step() for _ in range(5)]
+    assert rates == [1.0, 0.5, 0.5, 0.25, 0.25]
+
+
+def test_cosine_lr_endpoints():
+    sched = nn.CosineAnnealingLR(_opt(), total_epochs=10, min_lr=0.1)
+    rates = [sched.step() for _ in range(12)]
+    assert rates[0] < 1.0
+    assert rates[9] == pytest.approx(0.1)
+    assert rates[11] == pytest.approx(0.1)  # clamped past the horizon
+    assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+
+def test_linear_decay_lr():
+    sched = nn.LinearDecayLR(_opt(), total_epochs=4, final_fraction=0.0)
+    rates = [sched.step() for _ in range(4)]
+    np.testing.assert_allclose(rates, [0.75, 0.5, 0.25, 0.0])
+
+
+def test_scheduler_mutates_optimizer():
+    opt = _opt()
+    sched = nn.StepLR(opt, step_size=1, gamma=0.1)
+    sched.step()
+    assert opt.lr == pytest.approx(0.1)
+
+
+def test_scheduler_validation():
+    with pytest.raises(ValueError):
+        nn.StepLR(_opt(), step_size=0)
+    with pytest.raises(ValueError):
+        nn.StepLR(_opt(), step_size=1, gamma=0.0)
+    with pytest.raises(ValueError):
+        nn.CosineAnnealingLR(_opt(), total_epochs=0)
+    with pytest.raises(ValueError):
+        nn.LinearDecayLR(_opt(), total_epochs=1, final_fraction=2.0)
+
+
+# ----------------------------------------------------------------------
+# Early stopping
+# ----------------------------------------------------------------------
+def test_early_stopping_triggers_after_patience():
+    stopper = nn.EarlyStopping(patience=3)
+    assert not stopper.update(1.0)
+    assert not stopper.update(0.9)   # improvement resets
+    assert not stopper.update(0.95)
+    assert not stopper.update(0.95)
+    assert stopper.update(0.95)      # third stale epoch
+
+
+def test_early_stopping_min_delta():
+    stopper = nn.EarlyStopping(patience=1, min_delta=0.1)
+    stopper.update(1.0)
+    # 0.95 improves by < min_delta, so it counts as stale.
+    assert stopper.update(0.95)
+
+
+def test_early_stopping_validation():
+    with pytest.raises(ValueError):
+        nn.EarlyStopping(patience=0)

@@ -1,0 +1,121 @@
+"""Tests for the LSTM and transformer sequence encoders."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_lstm_output_shapes(rng):
+    lstm = nn.LSTM(6, 9, rng, num_layers=2)
+    outputs, (h, c) = lstm(Tensor(rng.normal(size=(4, 7, 6))))
+    assert outputs.shape == (4, 7, 9)
+    assert h.shape == (4, 9)
+    assert c.shape == (4, 9)
+
+
+def test_lstm_rejects_2d_input(rng):
+    lstm = nn.LSTM(6, 9, rng)
+    with pytest.raises(ValueError):
+        lstm(Tensor(np.zeros((4, 6))))
+
+    with pytest.raises(ValueError):
+        nn.LSTM(6, 9, rng, num_layers=0)
+
+
+def test_lstm_final_state_matches_last_output(rng):
+    lstm = nn.LSTM(3, 5, rng, num_layers=1)
+    outputs, (h, _) = lstm(Tensor(rng.normal(size=(2, 4, 3))))
+    np.testing.assert_allclose(outputs.data[:, -1, :], h.data)
+
+
+def test_lstm_is_deterministic_given_seed():
+    a = nn.LSTM(3, 5, np.random.default_rng(1))
+    b = nn.LSTM(3, 5, np.random.default_rng(1))
+    x = Tensor(np.random.default_rng(2).normal(size=(2, 4, 3)))
+    np.testing.assert_allclose(a.mean_pool(x).data, b.mean_pool(x).data)
+
+
+def test_lstm_mean_pool_ignores_padding(rng):
+    """Changing activity vectors beyond a session's length must not change z."""
+    lstm = nn.LSTM(3, 5, rng)
+    x = rng.normal(size=(1, 6, 3))
+    x_altered = x.copy()
+    x_altered[0, 4:, :] = 99.0  # corrupt padding positions
+    lengths = np.array([4])
+    z1 = lstm.mean_pool(Tensor(x), lengths).data
+    z2 = lstm.mean_pool(Tensor(x_altered), lengths).data
+    np.testing.assert_allclose(z1, z2)
+
+
+def test_lstm_mean_pool_full_length_equals_plain_mean(rng):
+    lstm = nn.LSTM(3, 5, rng)
+    x = Tensor(rng.normal(size=(2, 4, 3)))
+    full = lstm.mean_pool(x, lengths=np.array([4, 4])).data
+    plain = lstm.mean_pool(x).data
+    np.testing.assert_allclose(full, plain)
+
+
+def test_lstm_gates_bounded(rng):
+    """Hidden state of tanh-gated LSTM must stay in (-1, 1)."""
+    lstm = nn.LSTM(2, 4, rng)
+    x = Tensor(rng.normal(scale=10.0, size=(3, 20, 2)))
+    outputs, _ = lstm(x)
+    assert np.all(np.abs(outputs.data) < 1.0)
+
+
+def test_sinusoidal_positions_shape_and_range():
+    table = nn.sinusoidal_positions(50, 16)
+    assert table.shape == (50, 16)
+    assert np.all(np.abs(table) <= 1.0)
+    # Distinct positions get distinct encodings.
+    assert not np.allclose(table[0], table[1])
+
+
+def test_attention_mask_blocks_padding(rng):
+    attn = nn.MultiHeadAttention(8, 2, rng)
+    x = rng.normal(size=(1, 5, 8))
+    x_altered = x.copy()
+    x_altered[0, 3:, :] = 42.0
+    mask = np.array([[1, 1, 1, 0, 0]])
+    out1 = attn(Tensor(x), mask=mask).data[:, :3]
+    out2 = attn(Tensor(x_altered), mask=mask).data[:, :3]
+    np.testing.assert_allclose(out1, out2, atol=1e-10)
+
+
+def test_attention_rejects_indivisible_heads(rng):
+    with pytest.raises(ValueError):
+        nn.MultiHeadAttention(7, 2, rng)
+
+
+def test_transformer_encoder_shapes(rng):
+    encoder = nn.TransformerEncoder(8, 2, 16, num_layers=2, rng=rng)
+    out = encoder(Tensor(rng.normal(size=(3, 5, 8))))
+    assert out.shape == (3, 5, 8)
+    pooled = encoder.mean_pool(Tensor(rng.normal(size=(3, 5, 8))),
+                               lengths=np.array([5, 3, 1]))
+    assert pooled.shape == (3, 8)
+
+
+def test_transformer_trains_on_toy_task(rng):
+    """Transformer + Adam can fit 'is the first token positive?'"""
+    encoder = nn.TransformerEncoder(4, 2, 8, num_layers=1, rng=rng)
+    head = nn.Linear(4, 2, rng)
+    params = encoder.parameters() + head.parameters()
+    opt = nn.Adam(params, lr=0.01)
+    x = rng.normal(size=(16, 3, 4))
+    labels = (x[:, 0, 0] > 0).astype(int)
+    for _ in range(60):
+        opt.zero_grad()
+        logits = head(encoder.mean_pool(Tensor(x)))
+        loss = nn.cross_entropy(logits, labels)
+        loss.backward()
+        opt.step()
+    preds = np.argmax(head(encoder.mean_pool(Tensor(x))).data, axis=1)
+    assert (preds == labels).mean() >= 0.9
