@@ -46,6 +46,12 @@ class CLFDConfig:
     encoder_cell: str = "lstm"      # "lstm" | "gru" | "bilstm"
     pooling: str = "mean"           # "mean" | "attention"
 
+    # Numerics: floating dtype for model parameters and activations, and
+    # whether the recurrent layers use the fused sequence kernels
+    # (``repro.nn.fused``) or the composed-op reference path.
+    compute_dtype: str = "float64"  # "float32" | "float64"
+    fused_rnn: bool = True
+
     # Batching: R sessions per batch, M auxiliary malicious sessions.
     batch_size: int = 100
     aux_batch_size: int = 20
@@ -88,6 +94,8 @@ class CLFDConfig:
             raise ValueError("encoder_cell must be lstm, gru or bilstm")
         if self.pooling not in ("mean", "attention"):
             raise ValueError("pooling must be mean or attention")
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError("compute_dtype must be float32 or float64")
         if self.classifier_loss not in _CLASSIFIER_LOSSES:
             raise ValueError(
                 f"classifier_loss must be one of {_CLASSIFIER_LOSSES}"

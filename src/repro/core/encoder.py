@@ -24,7 +24,8 @@ class SessionEncoder(nn.Module):
 
     def __init__(self, embedding_dim: int, hidden_size: int,
                  rng: np.random.Generator, num_layers: int = 2,
-                 cell: str = "lstm", pooling: str = "mean"):
+                 cell: str = "lstm", pooling: str = "mean",
+                 fused: bool = True):
         super().__init__()
         if cell not in self._CELLS:
             raise ValueError(f"cell must be one of {self._CELLS}")
@@ -32,17 +33,20 @@ class SessionEncoder(nn.Module):
             raise ValueError(f"pooling must be one of {self._POOLINGS}")
         self.cell = cell
         self.pooling = pooling
+        # Parameters are allocated in the default dtype active at
+        # construction time; forward casts inputs to match.
+        self._dtype = nn.get_default_dtype()
         if cell == "lstm":
             self.rnn = nn.LSTM(embedding_dim, hidden_size, rng,
-                               num_layers=num_layers)
+                               num_layers=num_layers, fused=fused)
             self.output_dim = hidden_size
         elif cell == "gru":
             self.rnn = nn.GRU(embedding_dim, hidden_size, rng,
-                              num_layers=num_layers)
+                              num_layers=num_layers, fused=fused)
             self.output_dim = hidden_size
         else:
             self.rnn = nn.BiLSTM(embedding_dim, hidden_size, rng,
-                                 num_layers=num_layers)
+                                 num_layers=num_layers, fused=fused)
             self.output_dim = 2 * hidden_size
         self.hidden_size = hidden_size
         self.attention = (nn.AttentionPooling(self.output_dim, rng)
@@ -50,7 +54,9 @@ class SessionEncoder(nn.Module):
 
     def forward(self, x, lengths: np.ndarray | None = None) -> nn.Tensor:
         if not isinstance(x, nn.Tensor):
-            x = nn.Tensor(x)
+            x = nn.Tensor(x, dtype=self._dtype)
+        elif x.data.dtype != self._dtype:
+            x = x.astype(self._dtype)
         if self.attention is None:
             return self.rnn.mean_pool(x, lengths)
         outputs = self.rnn(x)
@@ -76,13 +82,16 @@ class SoftmaxClassifier(nn.Module):
                  hidden_dim: int | None = None, num_classes: int = 2):
         super().__init__()
         hidden_dim = hidden_dim or input_dim
+        self._dtype = nn.get_default_dtype()
         self.fc1 = nn.Linear(input_dim, hidden_dim, rng)
         self.fc2 = nn.Linear(hidden_dim, num_classes, rng)
 
     def forward(self, z) -> nn.Tensor:
         """Raw logits."""
         if not isinstance(z, nn.Tensor):
-            z = nn.Tensor(z)
+            z = nn.Tensor(z, dtype=self._dtype)
+        elif z.data.dtype != self._dtype:
+            z = z.astype(self._dtype)
         return self.fc2(self.fc1(z).leaky_relu())
 
     def probs(self, z) -> nn.Tensor:

@@ -35,11 +35,14 @@ class FraudDetector:
         self.config = config
         self.vectorizer = vectorizer
         self._rng = rng
-        self.encoder = SessionEncoder(config.embedding_dim, config.hidden_size,
-                                      rng, num_layers=config.lstm_layers,
-                                      cell=config.encoder_cell,
-                                      pooling=config.pooling)
-        self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
+        with nn.default_dtype(config.compute_dtype):
+            self.encoder = SessionEncoder(config.embedding_dim,
+                                          config.hidden_size,
+                                          rng, num_layers=config.lstm_layers,
+                                          cell=config.encoder_cell,
+                                          pooling=config.pooling,
+                                          fused=config.fused_rnn)
+            self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
         self.supcon_loss_history: list[float] = []
         self.classifier_loss_history: list[float] = []
         self.centroids: np.ndarray | None = None
@@ -58,8 +61,14 @@ class FraudDetector:
         if confidences.shape != (len(train),):
             raise ValueError("confidences must cover the training set")
 
-        self._pretrain_supcon(train, corrected_labels, confidences)
-        features = self._encode_dataset(train)
+        # Embed the whole training set once; every sup-con batch of
+        # every epoch then slices the cached array.
+        self.vectorizer.precompute(train)
+        try:
+            self._pretrain_supcon(train, corrected_labels, confidences)
+            features = self._encode_dataset(train)
+        finally:
+            self.vectorizer.evict(train)
         self.classifier_loss_history = train_classifier_head(
             self.classifier, features, corrected_labels, self._rng,
             loss=self.config.classifier_loss, q=self.config.q,

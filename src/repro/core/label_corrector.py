@@ -39,11 +39,14 @@ class LabelCorrector:
         self.config = config
         self.vectorizer = vectorizer
         self._rng = rng
-        self.encoder = SessionEncoder(config.embedding_dim, config.hidden_size,
-                                      rng, num_layers=config.lstm_layers,
-                                      cell=config.encoder_cell,
-                                      pooling=config.pooling)
-        self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
+        with nn.default_dtype(config.compute_dtype):
+            self.encoder = SessionEncoder(config.embedding_dim,
+                                          config.hidden_size,
+                                          rng, num_layers=config.lstm_layers,
+                                          cell=config.encoder_cell,
+                                          pooling=config.pooling,
+                                          fused=config.fused_rnn)
+            self.classifier = SoftmaxClassifier(self.encoder.output_dim, rng)
         self.ssl_loss_history: list[float] = []
         self.classifier_loss_history: list[float] = []
         self._fitted = False
@@ -53,8 +56,15 @@ class LabelCorrector:
     # ------------------------------------------------------------------
     def fit(self, train: SessionDataset) -> "LabelCorrector":
         """Run both training stages on the noisy training set."""
-        self._pretrain_ssl(train)
-        features = self._encode_dataset(train)
+        # SSL pre-training embeds augmented views on the fly, but the
+        # per-batch unaugmented lookups and the post-hoc encoding pass
+        # hit the cache.
+        self.vectorizer.precompute(train)
+        try:
+            self._pretrain_ssl(train)
+            features = self._encode_dataset(train)
+        finally:
+            self.vectorizer.evict(train)
         self.classifier_loss_history = train_classifier_head(
             self.classifier, features, train.noisy_labels(), self._rng,
             loss=self.config.classifier_loss, q=self.config.q,

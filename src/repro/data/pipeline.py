@@ -32,6 +32,13 @@ class SessionVectorizer:
             raise ValueError("max_len must be >= 1")
         self.model = model
         self.max_len = max_len
+        # Epoch-persistent embedding cache: dataset identity -> fully
+        # embedded (x, lengths).  Training loops re-embed the same
+        # sessions every batch of every epoch; precomputing once turns
+        # transform() into array slicing.  Entries keep a reference to
+        # the dataset so an id() collision with a dead object is
+        # impossible.
+        self._cache: dict[int, tuple[SessionDataset, np.ndarray, np.ndarray]] = {}
 
     @classmethod
     def fit(cls, corpus: SessionDataset,
@@ -45,14 +52,43 @@ class SessionVectorizer:
     def dim(self) -> int:
         return self.model.dim
 
+    def precompute(self, dataset: SessionDataset) -> None:
+        """Embed every session of ``dataset`` once and cache the result.
+
+        Subsequent :meth:`transform` calls for the same dataset object
+        (any ``indices``) slice the cached array instead of re-running
+        the embedding lookup.  Call :meth:`evict` when done to release
+        the (n, max_len, dim) buffer.
+        """
+        entry = self._cache.get(id(dataset))
+        if entry is not None and entry[0] is dataset:
+            return
+        ids, lengths = dataset.padded_ids(self.max_len)
+        self._cache[id(dataset)] = (dataset, self.model.embed_ids(ids), lengths)
+
+    def evict(self, dataset: SessionDataset | None = None) -> None:
+        """Drop the cache entry for ``dataset`` (or all entries)."""
+        if dataset is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(id(dataset), None)
+
     def transform(self, dataset: SessionDataset,
                   indices: np.ndarray | None = None,
                   ) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(x, lengths)``: x is (n, max_len, dim) float64.
 
         ``indices`` selects a batch subset without materialising a new
-        dataset object.
+        dataset object.  When the dataset has been :meth:`precompute`-d,
+        this is a cache slice rather than an embedding pass.
         """
+        entry = self._cache.get(id(dataset))
+        if entry is not None and entry[0] is dataset:
+            _, x, lengths = entry
+            if indices is None:
+                return x, lengths
+            idx = np.asarray(indices)
+            return x[idx], lengths[idx]
         subset = dataset if indices is None else dataset[np.asarray(indices)]
         ids, lengths = subset.padded_ids(self.max_len)
         return self.model.embed_ids(ids), lengths

@@ -35,10 +35,19 @@ from .layers import (
     Tanh,
 )
 from .bilstm import AttentionPooling, BiLSTM
+from .fused import (
+    fused_gru_sequence,
+    fused_gru_step,
+    fused_gru_step_preproj,
+    fused_lstm_sequence,
+    fused_lstm_step,
+    fused_lstm_step_preproj,
+)
 from .gru import GRU, GRUCell
 from .lstm import LSTM, LSTMCell
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .profiler import OpStats, Profiler, profile
 from .schedulers import (
     CosineAnnealingLR,
     EarlyStopping,
@@ -50,18 +59,27 @@ from .serialize import load_module, save_module
 from .tensor import (
     Tensor,
     as_tensor,
+    chunk,
     concat,
+    default_dtype,
+    get_default_dtype,
     is_grad_enabled,
     maximum,
     minimum,
     no_grad,
+    set_default_dtype,
+    split,
     stack,
     where,
 )
 
 __all__ = [
-    "Tensor", "as_tensor", "concat", "stack", "where", "maximum", "minimum",
-    "no_grad", "is_grad_enabled",
+    "Tensor", "as_tensor", "concat", "stack", "split", "chunk", "where",
+    "maximum", "minimum", "no_grad", "is_grad_enabled",
+    "set_default_dtype", "get_default_dtype", "default_dtype",
+    "fused_lstm_step", "fused_lstm_step_preproj", "fused_lstm_sequence",
+    "fused_gru_step", "fused_gru_step_preproj", "fused_gru_sequence",
+    "Profiler", "OpStats", "profile",
     "Module", "Parameter",
     "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
     "ReLU", "LeakyReLU", "Tanh", "GELU", "Sigmoid",

@@ -15,7 +15,7 @@ import numpy as np
 from . import init
 from .lstm import LSTM
 from .module import Module, Parameter
-from .tensor import Tensor, concat, stack
+from .tensor import Tensor, concat
 
 __all__ = ["BiLSTM", "AttentionPooling"]
 
@@ -28,12 +28,14 @@ class BiLSTM(Module):
     """
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: np.random.Generator, num_layers: int = 2):
+                 rng: np.random.Generator, num_layers: int = 2,
+                 fused: bool = True):
         super().__init__()
+        self.fused = fused
         self.forward_lstm = LSTM(input_size, hidden_size, rng,
-                                 num_layers=num_layers)
+                                 num_layers=num_layers, fused=fused)
         self.backward_lstm = LSTM(input_size, hidden_size, rng,
-                                  num_layers=num_layers)
+                                  num_layers=num_layers, fused=fused)
         self.hidden_size = hidden_size
         self.output_size = 2 * hidden_size
 
@@ -43,12 +45,11 @@ class BiLSTM(Module):
             raise ValueError(f"BiLSTM expects (batch, time, features), "
                              f"got {x.shape}")
         fwd, _ = self.forward_lstm(x)
-        time = x.shape[1]
-        reversed_steps = [x[:, t, :] for t in range(time - 1, -1, -1)]
-        reversed_input = stack(reversed_steps, axis=1)
-        bwd_rev, _ = self.backward_lstm(reversed_input)
-        bwd = stack([bwd_rev[:, t, :] for t in range(time - 1, -1, -1)],
-                    axis=1)
+        # Strided slices reverse time in one graph node each (their
+        # backward is an in-place += on a reversed view) instead of the
+        # old stack-of-T-slices round trip.
+        bwd_rev, _ = self.backward_lstm(x[:, ::-1, :])
+        bwd = bwd_rev[:, ::-1, :]
         return concat([fwd, bwd], axis=2)
 
     def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
@@ -57,8 +58,9 @@ class BiLSTM(Module):
         batch, time, _ = outputs.shape
         if lengths is None:
             return outputs.mean(axis=1)
-        lengths = np.asarray(lengths, dtype=np.float64)
-        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        dtype = outputs.data.dtype
+        lengths = np.asarray(lengths, dtype=dtype)
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(dtype)
         masked = outputs * Tensor(mask[:, :, None])
         return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])
 

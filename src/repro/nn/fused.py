@@ -1,0 +1,492 @@
+"""Fused recurrent cell kernels with hand-derived backward closures.
+
+The generic autograd path builds ~15 graph nodes per LSTM timestep (two
+matmuls, adds, four gate slices, four activations, five elementwise
+state ops); each gate slice's backward used to allocate a full
+``(batch, 4*hidden)`` zero buffer and scatter through ``np.add.at``.
+These kernels compute the whole gate block and state update in plain
+NumPy in one forward pass and register **one backward closure per
+output tensor**, writing parameter-gradient slices directly into the
+shared ``.grad`` buffers.
+
+Two tiers are provided:
+
+* ``fused_lstm_step`` / ``fused_gru_step`` — drop-in cell steps taking
+  the raw input ``x_t`` (used by :class:`~repro.nn.lstm.LSTMCell` and
+  :class:`~repro.nn.gru.GRUCell`, and by gradcheck).
+* ``fused_lstm_step_preproj`` / ``fused_gru_step_preproj`` — step
+  variants consuming a precomputed input projection
+  (``x_t @ W_x + b``), letting the layer batch all timesteps' input
+  GEMMs into one large matmul outside the recurrence.
+* ``fused_lstm_sequence`` / ``fused_gru_sequence`` — whole-layer
+  kernels: the entire time loop runs inside one forward and registers a
+  **single** backward closure that walks the sequence in reverse,
+  scatters gate pre-activation gradients into one ``(batch, time,
+  gates)`` buffer, and computes every weight gradient with one batched
+  GEMM over all timesteps instead of one small GEMM per step.  These
+  are what the ``LSTM``/``GRU`` layers use.
+
+All kernels follow the engine's dtype: float32 inputs stay float32
+throughout forward and backward.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor
+
+__all__ = [
+    "fused_lstm_step",
+    "fused_lstm_step_preproj",
+    "fused_lstm_sequence",
+    "fused_gru_step",
+    "fused_gru_step_preproj",
+    "fused_gru_sequence",
+]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _sigmoid_inplace(x: np.ndarray) -> None:
+    """Overwrite ``x`` with ``sigmoid(x)`` without temporaries."""
+    np.negative(x, out=x)
+    np.exp(x, out=x)
+    x += 1.0
+    np.reciprocal(x, out=x)
+
+
+def _add_grad_slice(param: Tensor, cols: slice, grad: np.ndarray) -> None:
+    """Accumulate into a column block of a parameter's shared grad buffer."""
+    param._init_grad()
+    if param.grad.ndim == 1:
+        param.grad[cols] += grad
+    else:
+        param.grad[:, cols] += grad
+
+
+# ----------------------------------------------------------------------
+# LSTM
+# ----------------------------------------------------------------------
+def fused_lstm_step(x, h_prev, c_prev, w_x, w_h, bias):
+    """One LSTM step: returns ``(h, c)`` with a fused forward/backward.
+
+    Gate order in the fused weights is ``[input, forget, cell, output]``,
+    matching :class:`~repro.nn.lstm.LSTMCell`.
+    """
+    x, h_prev, c_prev = as_tensor(x), as_tensor(h_prev), as_tensor(c_prev)
+    gates = x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
+    return _lstm_tail(gates, x, h_prev, c_prev, w_x, w_h, bias)
+
+
+def fused_lstm_step_preproj(x_proj, h_prev, c_prev, w_h):
+    """LSTM step given ``x_proj = x @ W_x + b`` precomputed for the step.
+
+    ``x_proj`` participates in the graph: gate pre-activation gradients
+    are scattered back into its shared grad buffer, so the layer-level
+    input projection (one big GEMM over all timesteps) receives them.
+    """
+    x_proj, h_prev, c_prev = as_tensor(x_proj), as_tensor(h_prev), as_tensor(c_prev)
+    gates = x_proj.data + h_prev.data @ w_h.data
+    return _lstm_tail(gates, x_proj, h_prev, c_prev, None, w_h, None)
+
+
+def _lstm_tail(gates, x_in, h_prev, c_prev, w_x, w_h, bias):
+    """Shared forward tail + backward closures for the LSTM kernels.
+
+    ``w_x``/``bias`` are None in the pre-projected variant, in which
+    case ``x_in`` holds the projected gates and receives the
+    pre-activation gradient directly.
+    """
+    hs = w_h.shape[0]
+    i = _sigmoid(gates[:, 0 * hs:1 * hs])
+    f = _sigmoid(gates[:, 1 * hs:2 * hs])
+    g = np.tanh(gates[:, 2 * hs:3 * hs])
+    o = _sigmoid(gates[:, 3 * hs:4 * hs])
+    c_data = f * c_prev.data + i * g
+    t = np.tanh(c_data)
+    h_data = o * t
+    preproj = w_x is None
+    # backward_h stashes the output gate's pre-activation grad here so
+    # backward_c can route all four gates in one full-width GEMM with
+    # the contiguous weight matrices (no column-sliced copies).
+    pending_o: list[np.ndarray] = []
+
+    def backward_h():
+        dh = h_out.grad
+        if c_out.requires_grad:
+            c_out._accumulate(dh * o * (1.0 - t * t))
+        pending_o.append(dh * t * o * (1.0 - o))
+
+    def backward_c():
+        # Runs after backward_h (h_out is a consumer of c_out), so
+        # c_out.grad already includes dL/dh routed through tanh(c).
+        dc = c_out.grad
+        d_pre = np.empty_like(gates)
+        d_pre[:, 0 * hs:1 * hs] = dc * g * i * (1.0 - i)
+        d_pre[:, 1 * hs:2 * hs] = dc * c_prev.data * f * (1.0 - f)
+        d_pre[:, 2 * hs:3 * hs] = dc * i * (1.0 - g * g)
+        if pending_o:
+            d_pre[:, 3 * hs:4 * hs] = pending_o.pop()
+        else:  # h was never consumed downstream
+            d_pre[:, 3 * hs:4 * hs] = 0.0
+        if preproj:
+            if x_in.requires_grad:
+                x_in._accumulate(d_pre)
+        else:
+            if x_in.requires_grad:
+                x_in._accumulate(d_pre @ w_x.data.T)
+            if w_x.requires_grad:
+                w_x._accumulate(x_in.data.T @ d_pre)
+            if bias.requires_grad:
+                bias._accumulate(d_pre.sum(axis=0))
+        if h_prev.requires_grad:
+            h_prev._accumulate(d_pre @ w_h.data.T)
+        if w_h.requires_grad:
+            w_h._accumulate(h_prev.data.T @ d_pre)
+        if c_prev.requires_grad:
+            c_prev._accumulate(dc * f)
+
+    if preproj:
+        c_parents = (x_in, h_prev, c_prev, w_h)
+    else:
+        c_parents = (x_in, h_prev, c_prev, w_x, w_h, bias)
+    c_out = Tensor._make(c_data, c_parents, backward_c)
+    # h consumes c, so reverse-topological order runs backward_h before
+    # backward_c: c_out.grad is complete when backward_c fires, and all
+    # other inputs are reachable (and ordered after h) through c_out.
+    h_out = Tensor._make(h_data, (c_out,), backward_h)
+    return h_out, c_out
+
+
+def fused_lstm_sequence(x, h0, c0, w_x, w_h, bias):
+    """Run a whole LSTM layer over time as one graph node.
+
+    ``x`` is the layer input ``(batch, time, features)``.  The input
+    projection ``x @ W_x + b`` for every timestep is computed as a single
+    GEMM inside the kernel (no intermediate graph nodes), then the
+    recurrence runs in plain NumPy.  Returns ``(h_seq, h_T, c_T)`` where
+    ``h_seq`` is ``(batch, time, hidden)`` and ``h_T``/``c_T`` are the
+    final states.  The single backward closure walks the sequence in
+    reverse, filling one ``(batch, time, 4*hidden)`` pre-activation
+    gradient buffer; every weight gradient is then one batched GEMM over
+    all timesteps rather than ``time`` small per-step GEMMs.
+    """
+    x, h0, c0 = as_tensor(x), as_tensor(h0), as_tensor(c0)
+    batch, time, feat = x.data.shape
+    hs = w_h.shape[0]
+    four_hs = 4 * hs
+    dtype = x.data.dtype
+    # Time-major (T, B, .) buffers: every per-step slice [t] is
+    # contiguous, so GEMMs and in-place ufuncs never touch strided
+    # memory inside the recurrence.
+    x_tb = np.ascontiguousarray(x.data.transpose(1, 0, 2))
+    flat = x_tb.reshape(time * batch, feat)
+    proj = (flat @ w_x.data + bias.data).reshape(time, batch, four_hs)
+    act = np.empty((time, batch, four_hs), dtype=dtype)
+    # One extra leading slot holds the initial state, so the backward
+    # pass reads h_prev/c_prev as plain slices with no concatenation.
+    c_all = np.empty((time + 1, batch, hs), dtype=dtype)
+    h_all = np.empty((time + 1, batch, hs), dtype=dtype)
+    tc_all = np.empty((time, batch, hs), dtype=dtype)
+    scratch = np.empty((batch, hs), dtype=dtype)
+    c_all[0], h_all[0] = c0.data, h0.data
+    h0_zero = not (h0.requires_grad or h0.data.any())
+    h, c = h0.data, c0.data
+    for t in range(time):
+        gates = act[t]
+        if t == 0 and h0_zero:   # h0 is all-zero: skip the recurrent GEMM
+            np.copyto(gates, proj[t])
+        else:
+            np.dot(h, w_h.data, out=gates)
+            gates += proj[t]
+        _sigmoid_inplace(gates[:, 0 * hs:2 * hs])   # input + forget
+        np.tanh(gates[:, 2 * hs:3 * hs], out=gates[:, 2 * hs:3 * hs])
+        _sigmoid_inplace(gates[:, 3 * hs:4 * hs])   # output
+        i = gates[:, 0 * hs:1 * hs]
+        f = gates[:, 1 * hs:2 * hs]
+        g = gates[:, 2 * hs:3 * hs]
+        o = gates[:, 3 * hs:4 * hs]
+        c_new, tc, h_new = c_all[t + 1], tc_all[t], h_all[t + 1]
+        np.multiply(f, c, out=c_new)
+        np.multiply(i, g, out=scratch)
+        c_new += scratch
+        np.tanh(c_new, out=tc)
+        np.multiply(o, tc, out=h_new)
+        h, c = h_new, c_new
+
+    # c_T's backward (which reverse-topological order runs first, since
+    # c_T consumes h_seq) stashes its incoming grad here; the sequence
+    # backward pops it as the initial dL/dc.
+    pending_c: list[np.ndarray] = []
+
+    def backward_seq():
+        # Contiguous time-major copy of the incoming grad, plus
+        # preallocated scratch: the reverse loop performs no
+        # allocations at all — every elementwise op writes into a
+        # reused buffer or directly into the d_pre slab.
+        d_h_tb = np.ascontiguousarray(h_seq.grad.transpose(1, 0, 2))
+        dc = np.zeros((batch, hs), dtype=dtype)
+        if pending_c:
+            np.copyto(dc, pending_c.pop())
+        carry = np.zeros((batch, hs), dtype=dtype)
+        dh = np.empty((batch, hs), dtype=dtype)
+        s = np.empty((batch, hs), dtype=dtype)
+        d_pre = np.empty_like(act)
+        w_h_t = np.ascontiguousarray(w_h.data.T)
+        for t in range(time - 1, -1, -1):
+            np.add(d_h_tb[t], carry, out=dh)
+            gates = act[t]
+            i = gates[:, 0 * hs:1 * hs]
+            f = gates[:, 1 * hs:2 * hs]
+            g = gates[:, 2 * hs:3 * hs]
+            o = gates[:, 3 * hs:4 * hs]
+            tc = tc_all[t]
+            np.multiply(tc, tc, out=s)       # dc += dh * o * (1 - tanh(c)^2)
+            np.subtract(1.0, s, out=s)
+            s *= o
+            s *= dh
+            dc += s
+            c_prev = c_all[t]
+            step = d_pre[t]
+            np.subtract(1.0, i, out=s)       # d_gate_i = dc * g * i * (1-i)
+            s *= i
+            s *= g
+            np.multiply(s, dc, out=step[:, 0 * hs:1 * hs])
+            np.subtract(1.0, f, out=s)       # d_gate_f = dc * c_prev * f * (1-f)
+            s *= f
+            s *= c_prev
+            np.multiply(s, dc, out=step[:, 1 * hs:2 * hs])
+            np.multiply(g, g, out=s)         # d_gate_g = dc * i * (1 - g^2)
+            np.subtract(1.0, s, out=s)
+            s *= i
+            np.multiply(s, dc, out=step[:, 2 * hs:3 * hs])
+            np.subtract(1.0, o, out=s)       # d_gate_o = dh * tanh(c) * o * (1-o)
+            s *= o
+            s *= tc
+            np.multiply(s, dh, out=step[:, 3 * hs:4 * hs])
+            if t > 0 or h0.requires_grad:
+                np.dot(step, w_h_t, out=carry)
+            dc *= f
+        d_pre_flat = d_pre.reshape(time * batch, four_hs)
+        if x.requires_grad:
+            x._accumulate((d_pre_flat @ w_x.data.T)
+                          .reshape(time, batch, feat).transpose(1, 0, 2))
+        if w_x.requires_grad:
+            w_x._accumulate(flat.T @ d_pre_flat)
+        if bias.requires_grad:
+            bias._accumulate(d_pre_flat.sum(axis=0))
+        if w_h.requires_grad:
+            w_h._accumulate(h_all[:-1].reshape(time * batch, hs).T @ d_pre_flat)
+        if h0.requires_grad:
+            h0._accumulate(carry)
+        if c0.requires_grad:
+            c0._accumulate(dc)
+
+    h_seq = Tensor._make(np.ascontiguousarray(h_all[1:].transpose(1, 0, 2)),
+                         (x, h0, c0, w_x, w_h, bias), backward_seq)
+
+    def backward_c_final():
+        pending_c.append(c_final.grad)
+
+    c_final = Tensor._make(c_all[-1].copy(), (h_seq,), backward_c_final)
+    return h_seq, h_seq[:, -1, :], c_final
+
+
+# ----------------------------------------------------------------------
+# GRU
+# ----------------------------------------------------------------------
+def fused_gru_step(x, h_prev, w_x, w_h, bias, w_xc, w_hc, bias_c):
+    """One GRU step: returns the new hidden state with a fused backward.
+
+    Gate order in the fused reset/update weights is ``[reset, update]``,
+    matching :class:`~repro.nn.gru.GRUCell`.
+    """
+    x, h_prev = as_tensor(x), as_tensor(h_prev)
+    gates = x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
+    cand_x = x.data @ w_xc.data + bias_c.data
+    return _gru_tail(gates, cand_x, x, h_prev,
+                     w_x, w_h, bias, w_xc, w_hc, bias_c)
+
+
+def fused_gru_step_preproj(x_proj, cand_proj, h_prev, w_h, w_hc):
+    """GRU step given precomputed ``x @ W_x + b`` and ``x @ W_xc + b_c``.
+
+    Pre-activation gradients scatter into the two projection tensors'
+    shared grad buffers.
+    """
+    x_proj, cand_proj, h_prev = (as_tensor(x_proj), as_tensor(cand_proj),
+                                 as_tensor(h_prev))
+    gates = x_proj.data + h_prev.data @ w_h.data
+    return _gru_tail(gates, cand_proj.data, x_proj, h_prev,
+                     None, w_h, None, None, w_hc, None, cand_in=cand_proj)
+
+
+def _gru_tail(gates, cand_x, x_in, h_prev, w_x, w_h, bias,
+              w_xc, w_hc, bias_c, cand_in=None):
+    hs = w_h.shape[0]
+    r = _sigmoid(gates[:, 0 * hs:1 * hs])
+    z = _sigmoid(gates[:, 1 * hs:2 * hs])
+    rh = r * h_prev.data
+    n = np.tanh(cand_x + rh @ w_hc.data)
+    h_data = z * h_prev.data + (1.0 - z) * n
+    preproj = w_x is None
+
+    def backward():
+        dh = h_out.grad
+        dn = dh * (1.0 - z)
+        da = dn * (1.0 - n * n)              # candidate pre-activation
+        d_rh = da @ w_hc.data.T
+        d_pre = np.empty_like(gates)
+        d_pre[:, 0 * hs:1 * hs] = d_rh * h_prev.data * r * (1.0 - r)
+        d_pre[:, 1 * hs:2 * hs] = dh * (h_prev.data - n) * z * (1.0 - z)
+        if preproj:
+            if x_in.requires_grad:
+                x_in._accumulate(d_pre)
+            if cand_in.requires_grad:
+                cand_in._accumulate(da)
+        else:
+            if x_in.requires_grad:
+                x_in._accumulate(d_pre @ w_x.data.T + da @ w_xc.data.T)
+            if w_x.requires_grad:
+                w_x._accumulate(x_in.data.T @ d_pre)
+            if bias.requires_grad:
+                bias._accumulate(d_pre.sum(axis=0))
+            if w_xc.requires_grad:
+                w_xc._accumulate(x_in.data.T @ da)
+            if bias_c.requires_grad:
+                bias_c._accumulate(da.sum(axis=0))
+        if h_prev.requires_grad:
+            h_prev._accumulate(dh * z + d_rh * r + d_pre @ w_h.data.T)
+        if w_h.requires_grad:
+            w_h._accumulate(h_prev.data.T @ d_pre)
+        if w_hc.requires_grad:
+            w_hc._accumulate(rh.T @ da)
+
+    if preproj:
+        parents = (x_in, cand_in, h_prev, w_h, w_hc)
+    else:
+        parents = (x_in, h_prev, w_x, w_h, bias, w_xc, w_hc, bias_c)
+    h_out = Tensor._make(h_data, parents, backward)
+    return h_out
+
+
+def fused_gru_sequence(x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c):
+    """Run a whole GRU layer over time as one graph node.
+
+    ``x`` is the layer input ``(batch, time, features)``.  Both input
+    projections (``x @ W_x + b`` for the gates and ``x @ W_xc + b_c``
+    for the candidate) are computed as single GEMMs inside the kernel.
+    Returns ``(h_seq, h_T)``.  Like :func:`fused_lstm_sequence`, the
+    single backward closure fills per-sequence gradient buffers and
+    computes every weight gradient with batched GEMMs over all
+    timesteps.
+    """
+    x, h0 = as_tensor(x), as_tensor(h0)
+    batch, time, feat = x.data.shape
+    hs = w_h.shape[0]
+    two_hs = 2 * hs
+    dtype = x.data.dtype
+    # Time-major (T, B, .) layout, as in fused_lstm_sequence: per-step
+    # slices are contiguous for the in-loop GEMMs and in-place ufuncs.
+    x_tb = np.ascontiguousarray(x.data.transpose(1, 0, 2))
+    flat = x_tb.reshape(time * batch, feat)
+    proj_g = (flat @ w_x.data + bias.data).reshape(time, batch, two_hs)
+    proj_c = (flat @ w_xc.data + bias_c.data).reshape(time, batch, hs)
+    gate_all = np.empty((time, batch, two_hs), dtype=dtype)
+    n_all = np.empty((time, batch, hs), dtype=dtype)
+    # Extra leading slot holds h0 so backward reads h_prev as a slice.
+    h_all = np.empty((time + 1, batch, hs), dtype=dtype)
+    scratch = np.empty((batch, hs), dtype=dtype)
+    h_all[0] = h0.data
+    h = h0.data
+    for t in range(time):
+        gates = gate_all[t]
+        np.dot(h, w_h.data, out=gates)
+        gates += proj_g[t]
+        _sigmoid_inplace(gates)                  # reset + update
+        r = gates[:, 0 * hs:1 * hs]
+        z = gates[:, 1 * hs:2 * hs]
+        n, h_new = n_all[t], h_all[t + 1]
+        np.multiply(r, h, out=scratch)
+        np.dot(scratch, w_hc.data, out=n)
+        n += proj_c[t]
+        np.tanh(n, out=n)
+        np.multiply(z, h, out=h_new)
+        np.subtract(1.0, z, out=scratch)
+        scratch *= n
+        h_new += scratch
+        h = h_new
+
+    def backward_seq():
+        # Same zero-allocation reverse loop as fused_lstm_sequence.
+        d_h_tb = np.ascontiguousarray(h_seq.grad.transpose(1, 0, 2))
+        carry = np.zeros((batch, hs), dtype=dtype)
+        dh = np.empty((batch, hs), dtype=dtype)
+        s = np.empty((batch, hs), dtype=dtype)
+        d_rh = np.empty((batch, hs), dtype=dtype)
+        d_pre = np.empty((time, batch, two_hs), dtype=dtype)
+        da_all = np.empty((time, batch, hs), dtype=dtype)
+        w_h_t = np.ascontiguousarray(w_h.data.T)
+        w_hc_t = np.ascontiguousarray(w_hc.data.T)
+        for t in range(time - 1, -1, -1):
+            np.add(d_h_tb[t], carry, out=dh)
+            h_prev = h_all[t]
+            gates = gate_all[t]
+            r = gates[:, 0 * hs:1 * hs]
+            z = gates[:, 1 * hs:2 * hs]
+            n = n_all[t]
+            da = da_all[t]
+            np.multiply(n, n, out=s)         # da = dh * (1-z) * (1 - n^2)
+            np.subtract(1.0, s, out=s)
+            np.subtract(1.0, z, out=da)
+            da *= s
+            da *= dh
+            np.dot(da, w_hc_t, out=d_rh)
+            step = d_pre[t]
+            np.subtract(1.0, r, out=s)       # d_gate_r = d_rh*h_prev*r*(1-r)
+            s *= r
+            s *= h_prev
+            np.multiply(s, d_rh, out=step[:, 0 * hs:1 * hs])
+            np.subtract(1.0, z, out=s)       # d_gate_z = dh*(h_prev-n)*z*(1-z)
+            s *= z
+            np.multiply(s, dh, out=s)
+            np.subtract(h_prev, n, out=carry)
+            np.multiply(s, carry, out=step[:, 1 * hs:2 * hs])
+            np.multiply(dh, z, out=carry)    # dh_prev = dh*z + d_rh*r + gates
+            d_rh *= r
+            carry += d_rh
+            np.dot(step, w_h_t, out=s)
+            carry += s
+        d_pre_flat = d_pre.reshape(time * batch, two_hs)
+        da_flat = da_all.reshape(time * batch, hs)
+        if x.requires_grad:
+            x._accumulate(
+                (d_pre_flat @ w_x.data.T + da_flat @ w_xc.data.T)
+                .reshape(time, batch, feat).transpose(1, 0, 2))
+        if w_x.requires_grad:
+            w_x._accumulate(flat.T @ d_pre_flat)
+        if bias.requires_grad:
+            bias._accumulate(d_pre_flat.sum(axis=0))
+        if w_xc.requires_grad:
+            w_xc._accumulate(flat.T @ da_flat)
+        if bias_c.requires_grad:
+            bias_c._accumulate(da_flat.sum(axis=0))
+        if w_h.requires_grad or w_hc.requires_grad:
+            h_prev_seq = h_all[:-1]
+            if w_h.requires_grad:
+                w_h._accumulate(
+                    h_prev_seq.reshape(time * batch, hs).T @ d_pre_flat)
+            if w_hc.requires_grad:
+                w_hc._accumulate(
+                    (gate_all[:, :, 0 * hs:1 * hs] * h_prev_seq)
+                    .reshape(time * batch, hs).T @ da_flat)
+        if h0.requires_grad:
+            h0._accumulate(carry)
+
+    h_seq = Tensor._make(
+        np.ascontiguousarray(h_all[1:].transpose(1, 0, 2)),
+        (x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c), backward_seq)
+    return h_seq, h_seq[:, -1, :]

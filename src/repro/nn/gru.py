@@ -2,7 +2,10 @@
 
 The paper standardises on LSTM encoders; a GRU at the same width is a
 natural ablation (fewer parameters, similar capacity).  The interface
-mirrors :class:`repro.nn.LSTM` including masked mean-pooling.
+mirrors :class:`repro.nn.LSTM` including masked mean-pooling and the
+``fused`` flag: the fused path runs each step as a single hand-derived
+kernel (:mod:`repro.nn.fused`) and batches the gate and candidate input
+projections of a whole layer into two GEMMs outside the recurrence.
 """
 
 from __future__ import annotations
@@ -10,8 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .fused import fused_gru_sequence, fused_gru_step
 from .module import Module, Parameter
-from .tensor import Tensor, stack
+from .tensor import Tensor, split, stack
 
 __all__ = ["GRUCell", "GRU"]
 
@@ -24,10 +28,12 @@ class GRUCell(Module):
     reset-scaled hidden state.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, fused: bool = True):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.w_x = Parameter(init.xavier_uniform((input_size, 2 * hidden_size), rng))
         self.w_h = Parameter(
             np.concatenate(
@@ -35,37 +41,43 @@ class GRUCell(Module):
                 axis=1,
             )
         )
-        self.bias = Parameter(np.zeros(2 * hidden_size))
+        self.bias = Parameter(init.zeros(2 * hidden_size))
         self.w_xc = Parameter(init.xavier_uniform((input_size, hidden_size), rng))
         self.w_hc = Parameter(init.orthogonal((hidden_size, hidden_size), rng))
-        self.bias_c = Parameter(np.zeros(hidden_size))
+        self.bias_c = Parameter(init.zeros(hidden_size))
 
     def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
         """One step: returns the new hidden state."""
+        if self.fused:
+            return fused_gru_step(x, h_prev, self.w_x, self.w_h, self.bias,
+                                  self.w_xc, self.w_hc, self.bias_c)
         gates = x @ self.w_x + h_prev @ self.w_h + self.bias
-        hs = self.hidden_size
-        r = gates[:, 0 * hs:1 * hs].sigmoid()
-        z = gates[:, 1 * hs:2 * hs].sigmoid()
+        gr, gz = split(gates, self.hidden_size, axis=1)
+        r, z = gr.sigmoid(), gz.sigmoid()
         candidate = (x @ self.w_xc + (r * h_prev) @ self.w_hc + self.bias_c).tanh()
         return z * h_prev + (1.0 - z) * candidate
 
     def initial_state(self, batch_size: int) -> Tensor:
-        return Tensor(np.zeros((batch_size, self.hidden_size)))
+        return Tensor(np.zeros((batch_size, self.hidden_size),
+                               dtype=self.w_x.data.dtype))
 
 
 class GRU(Module):
     """Multi-layer batch-first GRU with LSTM-compatible interface."""
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: np.random.Generator, num_layers: int = 2):
+                 rng: np.random.Generator, num_layers: int = 2,
+                 fused: bool = True):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
+        self.fused = fused
         self.cells = [
-            GRUCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            GRUCell(input_size if layer == 0 else hidden_size, hidden_size,
+                    rng, fused=fused)
             for layer in range(num_layers)
         ]
 
@@ -73,6 +85,8 @@ class GRU(Module):
         """Run the sequence; returns (outputs, final hidden state)."""
         if x.ndim != 3:
             raise ValueError(f"GRU expects (batch, time, features), got {x.shape}")
+        if self.fused:
+            return self._forward_fused(x)
         batch, time, _ = x.shape
         layer_input = [x[:, t, :] for t in range(time)]
         h = None
@@ -85,13 +99,27 @@ class GRU(Module):
             layer_input = outputs
         return stack(layer_input, axis=1), h
 
+    def _forward_fused(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        """Fused path: two input-projection GEMMs per layer, then the
+        whole recurrence runs inside a single sequence kernel."""
+        batch, _, _ = x.shape
+        layer_input = x
+        h = None
+        for cell in self.cells:
+            h0 = cell.initial_state(batch)
+            layer_input, h = fused_gru_sequence(
+                layer_input, h0, cell.w_x, cell.w_h, cell.bias,
+                cell.w_xc, cell.w_hc, cell.bias_c)
+        return layer_input, h
+
     def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
         """Masked mean over the final layer's hidden states."""
         outputs, _ = self.forward(x)
         if lengths is None:
             return outputs.mean(axis=1)
-        lengths = np.asarray(lengths, dtype=np.float64)
+        dtype = outputs.data.dtype
+        lengths = np.asarray(lengths, dtype=dtype)
         batch, time, _ = outputs.shape
-        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(dtype)
         masked = outputs * Tensor(mask[:, :, None])
         return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])

@@ -7,7 +7,7 @@ import numpy as np
 from . import init
 from .functional import dropout_mask
 from .module import Module, Parameter
-from .tensor import Tensor
+from .tensor import Tensor, get_default_dtype
 
 __all__ = [
     "Linear",
@@ -66,7 +66,7 @@ class Embedding(Module):
 
     def load_pretrained(self, matrix: np.ndarray, freeze: bool = False) -> None:
         """Install externally trained vectors (e.g. word2vec)."""
-        matrix = np.asarray(matrix, dtype=np.float64)
+        matrix = np.asarray(matrix, dtype=self.weight.data.dtype)
         if matrix.shape != (self.num_embeddings, self.embedding_dim):
             raise ValueError(
                 f"expected {(self.num_embeddings, self.embedding_dim)}, "
@@ -84,8 +84,8 @@ class LayerNorm(Module):
         super().__init__()
         self.dim = dim
         self.eps = eps
-        self.gamma = Parameter(np.ones(dim))
-        self.beta = Parameter(np.zeros(dim))
+        self.gamma = Parameter(np.ones(dim, dtype=get_default_dtype()))
+        self.beta = Parameter(init.zeros(dim))
 
     def forward(self, x: Tensor) -> Tensor:
         mu = x.mean(axis=-1, keepdims=True)

@@ -3,6 +3,16 @@
 The paper's session encoders are two-layer LSTMs whose final-layer hidden
 states are averaged to produce a session representation; this module
 implements the recurrent substrate for that.
+
+Two execution paths are provided, selected by ``fused`` (default on):
+
+* **fused** — the whole gate block and state update run as one NumPy
+  kernel per step (:mod:`repro.nn.fused`) with a hand-derived backward,
+  and each layer batches every timestep's input projection into a single
+  ``(batch*time, 4*hidden)`` GEMM outside the recurrence.
+* **reference** — the original composed-op path (now using
+  :func:`~repro.nn.tensor.split` for the gate slices), kept as the
+  gradcheck baseline for the fused kernels.
 """
 
 from __future__ import annotations
@@ -10,8 +20,9 @@ from __future__ import annotations
 import numpy as np
 
 from . import init
+from .fused import fused_lstm_sequence, fused_lstm_step
 from .module import Module, Parameter
-from .tensor import Tensor, stack
+from .tensor import Tensor, get_default_dtype, split, stack
 
 __all__ = ["LSTMCell", "LSTM"]
 
@@ -24,10 +35,12 @@ class LSTMCell(Module):
     gradient flow early in training.
     """
 
-    def __init__(self, input_size: int, hidden_size: int, rng: np.random.Generator):
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator, fused: bool = True):
         super().__init__()
         self.input_size = input_size
         self.hidden_size = hidden_size
+        self.fused = fused
         self.w_x = Parameter(init.xavier_uniform((input_size, 4 * hidden_size), rng))
         self.w_h = Parameter(
             np.concatenate(
@@ -35,25 +48,26 @@ class LSTMCell(Module):
                 axis=1,
             )
         )
-        bias = np.zeros(4 * hidden_size)
+        bias = np.zeros(4 * hidden_size, dtype=get_default_dtype())
         bias[hidden_size: 2 * hidden_size] = 1.0  # forget-gate bias
         self.bias = Parameter(bias)
 
     def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
         """One step: ``x`` is (batch, input_size); returns new (h, c)."""
         h_prev, c_prev = state
+        if self.fused:
+            return fused_lstm_step(x, h_prev, c_prev,
+                                   self.w_x, self.w_h, self.bias)
         gates = x @ self.w_x + h_prev @ self.w_h + self.bias
-        hs = self.hidden_size
-        i = gates[:, 0 * hs:1 * hs].sigmoid()
-        f = gates[:, 1 * hs:2 * hs].sigmoid()
-        g = gates[:, 2 * hs:3 * hs].tanh()
-        o = gates[:, 3 * hs:4 * hs].sigmoid()
+        gi, gf, gg, go = split(gates, self.hidden_size, axis=1)
+        i, f, g, o = gi.sigmoid(), gf.sigmoid(), gg.tanh(), go.sigmoid()
         c = f * c_prev + i * g
         h = o * c.tanh()
         return h, c
 
     def initial_state(self, batch_size: int) -> tuple[Tensor, Tensor]:
-        zeros = np.zeros((batch_size, self.hidden_size))
+        zeros = np.zeros((batch_size, self.hidden_size),
+                         dtype=self.w_x.data.dtype)
         return Tensor(zeros), Tensor(zeros.copy())
 
 
@@ -66,18 +80,22 @@ class LSTM(Module):
     hidden_size: size of the hidden state (same for all layers, matching
         the paper's "two hidden layers with the same dimensions").
     num_layers: number of stacked LSTM layers.
+    fused: use the fused per-step kernels plus batched input projections.
     """
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: np.random.Generator, num_layers: int = 2):
+                 rng: np.random.Generator, num_layers: int = 2,
+                 fused: bool = True):
         super().__init__()
         if num_layers < 1:
             raise ValueError("num_layers must be >= 1")
         self.input_size = input_size
         self.hidden_size = hidden_size
         self.num_layers = num_layers
+        self.fused = fused
         self.cells = [
-            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng)
+            LSTMCell(input_size if layer == 0 else hidden_size, hidden_size,
+                     rng, fused=fused)
             for layer in range(num_layers)
         ]
 
@@ -90,6 +108,8 @@ class LSTM(Module):
         """
         if x.ndim != 3:
             raise ValueError(f"LSTM expects (batch, time, features), got {x.shape}")
+        if self.fused:
+            return self._forward_fused(x)
         batch, time, _ = x.shape
         layer_input = [x[:, t, :] for t in range(time)]
         h = c = None
@@ -102,6 +122,20 @@ class LSTM(Module):
             layer_input = outputs
         return stack(layer_input, axis=1), (h, c)
 
+    def _forward_fused(self, x: Tensor) -> tuple[Tensor, tuple[Tensor, Tensor]]:
+        """Fused path: one input-projection GEMM per layer, then the whole
+        recurrence (forward and backward) runs inside a single sequence
+        kernel — a handful of graph nodes per layer instead of ~15 per
+        timestep."""
+        batch, _, _ = x.shape
+        layer_input = x
+        h = c = None
+        for cell in self.cells:
+            h0, c0 = cell.initial_state(batch)
+            layer_input, h, c = fused_lstm_sequence(
+                layer_input, h0, c0, cell.w_x, cell.w_h, cell.bias)
+        return layer_input, (h, c)
+
     def mean_pool(self, x: Tensor, lengths: np.ndarray | None = None) -> Tensor:
         """Encode sessions by averaging final-layer hidden states over time.
 
@@ -111,8 +145,9 @@ class LSTM(Module):
         outputs, _ = self.forward(x)
         if lengths is None:
             return outputs.mean(axis=1)
-        lengths = np.asarray(lengths, dtype=np.float64)
+        dtype = outputs.data.dtype
+        lengths = np.asarray(lengths, dtype=dtype)
         batch, time, _ = outputs.shape
-        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(np.float64)
+        mask = (np.arange(time)[None, :] < lengths[:, None]).astype(dtype)
         masked = outputs * Tensor(mask[:, :, None])
         return masked.sum(axis=1) / Tensor(np.maximum(lengths, 1.0)[:, None])

@@ -1,0 +1,115 @@
+"""Op-level profiling for the autograd engine.
+
+Activating :func:`profile` registers a hook with :mod:`repro.nn.tensor`
+that counts every graph node created and times every backward closure,
+keyed by the op that built it.  Forward-side regions (a whole layer, an
+epoch) can be timed with :meth:`Profiler.timer`.  The hooks cost a
+single ``is not None`` check per node when disabled, so they are safe to
+leave compiled into the hot path.
+
+Usage::
+
+    with profile() as prof:
+        loss = model(x).sum()
+        loss.backward()
+    print(prof.summary())
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+from . import tensor as _tensor
+
+__all__ = ["OpStats", "Profiler", "profile"]
+
+
+def _op_name(backward_fn) -> str:
+    """Derive the op name from its backward closure's qualname.
+
+    ``Tensor.__add__.<locals>.backward`` -> ``__add__``;
+    ``fused_lstm_step.<locals>.backward_h`` -> ``fused_lstm_step``.
+    """
+    qualname = getattr(backward_fn, "__qualname__", "?")
+    return qualname.split(".<locals>")[0].rsplit(".", 1)[-1]
+
+
+@dataclass
+class OpStats:
+    """Aggregate counters for one op."""
+
+    nodes: int = 0
+    backward_calls: int = 0
+    backward_seconds: float = 0.0
+
+
+@dataclass
+class Profiler:
+    """Collects node counts and per-op backward wall time."""
+
+    ops: dict[str, OpStats] = field(default_factory=dict)
+    regions: dict[str, float] = field(default_factory=dict)
+
+    def _stats(self, backward_fn) -> OpStats:
+        name = _op_name(backward_fn)
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats()
+        return stats
+
+    # Hook points called from repro.nn.tensor -------------------------
+    def record_node(self, backward_fn) -> None:
+        self._stats(backward_fn).nodes += 1
+
+    def record_backward(self, backward_fn, seconds: float) -> None:
+        stats = self._stats(backward_fn)
+        stats.backward_calls += 1
+        stats.backward_seconds += seconds
+
+    # Aggregates ------------------------------------------------------
+    @property
+    def total_nodes(self) -> int:
+        return sum(s.nodes for s in self.ops.values())
+
+    @property
+    def total_backward_seconds(self) -> float:
+        return sum(s.backward_seconds for s in self.ops.values())
+
+    @contextlib.contextmanager
+    def timer(self, name: str):
+        """Accumulate wall time of a forward-side region under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.regions[name] = (self.regions.get(name, 0.0)
+                                  + time.perf_counter() - start)
+
+    def summary(self, top: int = 15) -> str:
+        """Human-readable table sorted by backward time."""
+        lines = [f"{'op':24s} {'nodes':>8s} {'bwd calls':>10s} {'bwd ms':>10s}"]
+        ranked = sorted(self.ops.items(),
+                        key=lambda kv: -kv[1].backward_seconds)
+        for name, stats in ranked[:top]:
+            lines.append(f"{name:24s} {stats.nodes:8d} "
+                         f"{stats.backward_calls:10d} "
+                         f"{stats.backward_seconds * 1e3:10.2f}")
+        lines.append(f"{'total':24s} {self.total_nodes:8d} "
+                     f"{sum(s.backward_calls for s in self.ops.values()):10d} "
+                     f"{self.total_backward_seconds * 1e3:10.2f}")
+        for name, seconds in self.regions.items():
+            lines.append(f"region {name}: {seconds * 1e3:.2f} ms")
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def profile():
+    """Context manager: activate profiling, yield the :class:`Profiler`."""
+    prof = Profiler()
+    _tensor._set_profile_hook(prof)
+    try:
+        yield prof
+    finally:
+        _tensor._set_profile_hook(None)

@@ -14,6 +14,7 @@ topological sort and runs the closures in reverse order.
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -25,12 +26,35 @@ __all__ = [
     "as_tensor",
     "concat",
     "stack",
+    "split",
+    "chunk",
     "where",
     "maximum",
     "minimum",
+    "set_default_dtype",
+    "get_default_dtype",
+    "default_dtype",
 ]
 
 _GRAD_ENABLED = True
+
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+# Optional profiler (see repro.nn.profiler).  When set, ``Tensor._make``
+# reports every graph node created and ``backward()`` reports per-op
+# wall time.  A single ``is not None`` check keeps the disabled-path
+# overhead negligible.
+_PROFILE_HOOK = None
+
+# Sentinel installed in ``_backward`` once a graph has been released by
+# ``backward(retain_graph=False)``; distinguishes "freed" from "leaf".
+_FREED_GRAPH = object()
+
+
+def _set_profile_hook(hook) -> None:
+    global _PROFILE_HOOK
+    _PROFILE_HOOK = hook
 
 
 @contextlib.contextmanager
@@ -48,6 +72,37 @@ def no_grad():
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
     return _GRAD_ENABLED
+
+
+def set_default_dtype(dtype) -> None:
+    """Set the floating dtype used for tensor/parameter construction.
+
+    Non-floating inputs to :class:`Tensor` are cast to this dtype, and
+    the initializers in :mod:`repro.nn.init` allocate parameters in it.
+    """
+    global _DEFAULT_DTYPE
+    dt = np.dtype(dtype)
+    if dt not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"default dtype must be float32 or float64, got {dt}"
+        )
+    _DEFAULT_DTYPE = dt
+
+
+def get_default_dtype() -> np.dtype:
+    """Return the current default floating dtype."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(dtype):
+    """Context manager scoping :func:`set_default_dtype`."""
+    previous = _DEFAULT_DTYPE
+    set_default_dtype(dtype)
+    try:
+        yield
+    finally:
+        set_default_dtype(previous)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -75,24 +130,32 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; converted to ``float64`` unless already a
-        floating dtype.
+        Array-like payload; converted to the default compute dtype (see
+        :func:`set_default_dtype`) unless already a floating dtype.
     requires_grad:
         Whether gradients should be accumulated into ``.grad`` when
-        ``backward()`` is called on a downstream tensor.
+        ``backward()`` is called on a downstream tensor.  This is a
+        property of the *leaf* itself: constructing a parameter inside
+        :func:`no_grad` must not freeze it — only graph recording is
+        suppressed there (via :meth:`_make`).
+    dtype:
+        Optional explicit dtype for the payload.
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+    def __init__(self, data, requires_grad: bool = False, name: str = "",
+                 dtype=None):
         if isinstance(data, Tensor):
             data = data.data
         arr = np.asarray(data)
-        if not np.issubdtype(arr.dtype, np.floating):
-            arr = arr.astype(np.float64)
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        elif not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(_DEFAULT_DTYPE)
         self.data: np.ndarray = arr
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad)
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self.name = name
@@ -112,8 +175,36 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
     def __len__(self) -> int:
         return len(self.data)
+
+    def __array__(self, dtype=None, copy=None) -> np.ndarray:
+        """NumPy protocol: ``np.asarray(tensor)`` yields the payload.
+
+        Without this, ``np.asarray`` would wrap the Tensor object in a
+        dtype=object array that silently poisons downstream math.
+        """
+        arr = self.data
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        if copy:
+            arr = arr.copy()
+        return arr
+
+    def astype(self, dtype) -> "Tensor":
+        """Cast to ``dtype``; gradients are cast back on the way down."""
+        out_data = self.data.astype(dtype, copy=False)
+
+        def backward():
+            if self.requires_grad:
+                self._accumulate(out.grad.astype(self.data.dtype, copy=False))
+
+        out = Tensor._make(out_data, (self,), backward)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -137,7 +228,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def _init_grad(self) -> None:
         if self.grad is None:
-            self.grad = np.zeros_like(self.data, dtype=np.float64)
+            self.grad = np.zeros_like(self.data)
 
     def _accumulate(self, grad: np.ndarray) -> None:
         self._init_grad()
@@ -146,17 +237,33 @@ class Tensor:
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor.
 
         ``grad`` defaults to ones (so scalars behave like losses).
+
+        Unless ``retain_graph`` is set, the graph is released afterwards:
+        every interior node drops its backward closure and parent links.
+        Closures capture their output tensor, so a recorded graph is one
+        big reference cycle that only the cyclic garbage collector could
+        reclaim — training loops used to accumulate hundreds of MB of
+        dead graphs between collections.  Freeing eagerly restores plain
+        refcounted lifetime, and a second ``backward()`` on a freed root
+        raises instead of silently compounding gradients.
         """
+        if self._backward is _FREED_GRAPH:
+            raise RuntimeError(
+                "backward() through a graph that has already been freed; "
+                "pass retain_graph=True to the first call to back-propagate "
+                "through the same graph twice"
+            )
         if not self.requires_grad and self._backward is None:
             raise RuntimeError("backward() on a tensor that does not require grad")
         if grad is None:
-            grad = np.ones_like(self.data, dtype=np.float64)
+            grad = np.ones_like(self.data)
         else:
-            grad = np.asarray(grad, dtype=np.float64)
+            grad = np.asarray(grad, dtype=self.data.dtype)
 
         topo: list[Tensor] = []
         visited: set[int] = set()
@@ -174,10 +281,33 @@ class Tensor:
                 if id(child) not in visited:
                     stack.append((child, False))
 
+        # Interior (non-leaf) grads are transient scratch for this pass.
+        # Without the reset, a second backward(retain_graph=True) over
+        # the same graph re-propagates the root's own accumulated grad
+        # and compounds superlinearly; leaves (and freed roots, which
+        # behave like leaves) keep accumulating across calls as usual.
+        for node in topo:
+            if node._backward is not None and node._backward is not _FREED_GRAPH:
+                node.grad = None
+
         self._accumulate(grad)
+        hook = _PROFILE_HOOK
         for node in reversed(topo):
-            if node._backward is not None and node.grad is not None:
-                node._backward()
+            fn = node._backward
+            if fn is None or fn is _FREED_GRAPH or node.grad is None:
+                continue
+            if hook is None:
+                fn()
+            else:
+                start = time.perf_counter()
+                fn()
+                hook.record_backward(fn, time.perf_counter() - start)
+
+        if not retain_graph:
+            for node in topo:
+                if node._backward is not None:
+                    node._backward = _FREED_GRAPH
+                    node._prev = ()
 
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
@@ -187,6 +317,8 @@ class Tensor:
         if requires:
             out._prev = tuple(parents)
             out._backward = backward
+            if _PROFILE_HOOK is not None:
+                _PROFILE_HOOK.record_node(backward)
         return out
 
     # ------------------------------------------------------------------
@@ -437,12 +569,18 @@ class Tensor:
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        basic = _is_basic_index(index)
 
         def backward():
             if self.requires_grad:
-                grad = np.zeros_like(self.data, dtype=np.float64)
-                np.add.at(grad, index, out.grad)
-                self._accumulate(grad)
+                # Write straight into the shared grad buffer: no
+                # per-slice zeros allocation, and ``np.add.at`` (slow,
+                # but duplicate-safe) only for advanced indexing.
+                self._init_grad()
+                if basic:
+                    self.grad[index] += out.grad
+                else:
+                    np.add.at(self.grad, index, out.grad)
 
         out = Tensor._make(out_data, (self,), backward)
         return out
@@ -483,6 +621,20 @@ class Tensor:
         return self.matmul(other)
 
 
+_BASIC_INDEX_TYPES = (int, np.integer, slice, type(Ellipsis), type(None))
+
+
+def _is_basic_index(index) -> bool:
+    """True when ``index`` triggers NumPy basic (view) indexing only.
+
+    Basic indices select each source element at most once, so gradient
+    scatter can use an in-place ``+=`` on a view instead of ``np.add.at``.
+    """
+    if isinstance(index, tuple):
+        return all(isinstance(i, _BASIC_INDEX_TYPES) for i in index)
+    return isinstance(index, _BASIC_INDEX_TYPES)
+
+
 def as_tensor(value) -> Tensor:
     """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
     return value if isinstance(value, Tensor) else Tensor(value)
@@ -520,8 +672,66 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return out
 
 
+def _split_piece(tensor: Tensor, slicer: tuple) -> Tensor:
+    """One output of :func:`split`: a view whose backward scatters its
+    gradient into the parent's shared grad buffer via an in-place ``+=``
+    (no ``np.zeros_like`` + ``np.add.at`` per slice)."""
+
+    def backward():
+        if tensor.requires_grad:
+            tensor._init_grad()
+            tensor.grad[slicer] += out.grad
+
+    out = Tensor._make(tensor.data[slicer], (tensor,), backward)
+    return out
+
+
+def split(tensor: Tensor, size_or_sections, axis: int = -1) -> list[Tensor]:
+    """Split ``tensor`` along ``axis`` (torch.split semantics).
+
+    ``size_or_sections`` is either a chunk size (the last chunk may be
+    smaller) or an explicit list of sizes summing to the axis length.
+    """
+    tensor = as_tensor(tensor)
+    if axis < 0:
+        axis += tensor.ndim
+    if not 0 <= axis < tensor.ndim:
+        raise ValueError(f"axis out of range for shape {tensor.shape}")
+    length = tensor.shape[axis]
+    if isinstance(size_or_sections, (int, np.integer)):
+        size = int(size_or_sections)
+        if size < 1:
+            raise ValueError("split size must be >= 1")
+        sizes = [size] * (length // size)
+        if length % size:
+            sizes.append(length % size)
+    else:
+        sizes = [int(s) for s in size_or_sections]
+        if sum(sizes) != length:
+            raise ValueError(
+                f"split sizes {sizes} do not sum to axis length {length}"
+            )
+    head = (slice(None),) * axis
+    pieces, start = [], 0
+    for size in sizes:
+        pieces.append(_split_piece(tensor, head + (slice(start, start + size),)))
+        start += size
+    return pieces
+
+
+def chunk(tensor: Tensor, chunks: int, axis: int = -1) -> list[Tensor]:
+    """Split into ``chunks`` equal parts along ``axis``."""
+    tensor = as_tensor(tensor)
+    length = tensor.shape[axis]
+    if length % chunks:
+        raise ValueError(f"axis length {length} not divisible into {chunks}")
+    return split(tensor, length // chunks, axis=axis)
+
+
 def where(condition, a, b) -> Tensor:
     """Elementwise select: gradient flows to the chosen branch."""
+    if isinstance(condition, Tensor):
+        condition = condition.data
     cond = np.asarray(condition, dtype=bool)
     a, b = as_tensor(a), as_tensor(b)
     out_data = np.where(cond, a.data, b.data)

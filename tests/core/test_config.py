@@ -49,7 +49,17 @@ def test_fast_preset_accepts_overrides():
     dict(batch_size=1),
     dict(ssl_epochs=0),
     dict(classifier_epochs=0),
+    dict(compute_dtype="float16"),
 ])
 def test_invalid_configs_rejected(kwargs):
     with pytest.raises(ValueError):
         CLFDConfig(**kwargs)
+
+
+def test_numerics_defaults_and_overrides():
+    cfg = CLFDConfig()
+    assert cfg.compute_dtype == "float64"
+    assert cfg.fused_rnn is True
+    cfg32 = CLFDConfig.fast(compute_dtype="float32", fused_rnn=False)
+    assert cfg32.compute_dtype == "float32"
+    assert cfg32.fused_rnn is False

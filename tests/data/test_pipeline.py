@@ -1,0 +1,62 @@
+"""SessionVectorizer embedding cache: parity, identity keying, eviction."""
+
+import numpy as np
+import pytest
+
+from repro.data import SessionVectorizer, Word2VecConfig, make_dataset
+
+
+@pytest.fixture(scope="module")
+def vec_and_data():
+    rng = np.random.default_rng(3)
+    train, test = make_dataset("openstack", rng, scale=0.02)
+    vec = SessionVectorizer.fit(train, Word2VecConfig(dim=8, epochs=1),
+                                rng=rng)
+    return vec, train, test
+
+
+def test_cached_transform_matches_uncached(vec_and_data):
+    vec, train, _ = vec_and_data
+    idx = np.array([0, 3, 1, 3])  # repeats and out-of-order
+    x0, l0 = vec.transform(train, indices=idx)
+    vec.precompute(train)
+    try:
+        x1, l1 = vec.transform(train, indices=idx)
+        np.testing.assert_array_equal(x0, x1)
+        np.testing.assert_array_equal(l0, l1)
+        x_full_cached, _ = vec.transform(train)
+    finally:
+        vec.evict(train)
+    x_full, _ = vec.transform(train)
+    np.testing.assert_array_equal(x_full_cached, x_full)
+
+
+def test_cache_is_per_dataset_object(vec_and_data):
+    vec, train, test = vec_and_data
+    vec.precompute(train)
+    try:
+        assert id(train) in vec._cache
+        # A different dataset bypasses the cache but still transforms.
+        x_test, lengths = vec.transform(test, indices=np.arange(3))
+        assert x_test.shape[0] == 3 and lengths.shape == (3,)
+        assert id(test) not in vec._cache
+    finally:
+        vec.evict(train)
+    assert not vec._cache
+
+
+def test_precompute_is_idempotent(vec_and_data):
+    vec, train, _ = vec_and_data
+    vec.precompute(train)
+    entry = vec._cache[id(train)]
+    vec.precompute(train)  # must not re-embed / replace the entry
+    assert vec._cache[id(train)] is entry
+    vec.evict()
+    assert not vec._cache
+
+
+def test_evict_unknown_dataset_is_noop(vec_and_data):
+    vec, train, test = vec_and_data
+    vec.evict(test)  # never cached
+    x, _ = vec.transform(train, indices=np.array([0]))
+    assert x.ndim == 3

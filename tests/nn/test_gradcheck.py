@@ -114,9 +114,10 @@ def test_embedding_gradcheck():
     check_gradients(lambda: (emb(ids) ** 2).sum(), [emb.weight])
 
 
-def test_lstm_cell_gradcheck():
+@pytest.mark.parametrize("fused", [True, False])
+def test_lstm_cell_gradcheck(fused):
     rng = np.random.default_rng(19)
-    cell = nn.LSTMCell(3, 4, rng)
+    cell = nn.LSTMCell(3, 4, rng, fused=fused)
     x = Tensor(_rand((2, 3), 20), requires_grad=True)
 
     def fn():
@@ -126,12 +127,86 @@ def test_lstm_cell_gradcheck():
     check_gradients(fn, [x, cell.w_x, cell.w_h, cell.bias], atol=1e-4)
 
 
-def test_lstm_sequence_gradcheck():
+@pytest.mark.parametrize("fused", [True, False])
+def test_lstm_sequence_gradcheck(fused):
     rng = np.random.default_rng(21)
-    lstm = nn.LSTM(3, 4, rng, num_layers=2)
+    lstm = nn.LSTM(3, 4, rng, num_layers=2, fused=fused)
     x = Tensor(_rand((2, 5, 3), 22), requires_grad=True)
     params = [x] + lstm.parameters()
     check_gradients(lambda: (lstm.mean_pool(x) ** 2).sum(), params, atol=1e-4)
+
+
+@pytest.mark.parametrize("fused", [True, False])
+def test_gru_cell_gradcheck(fused):
+    rng = np.random.default_rng(40)
+    cell = nn.GRUCell(3, 4, rng, fused=fused)
+    x = Tensor(_rand((2, 3), 41), requires_grad=True)
+    h0 = Tensor(_rand((2, 4), 42), requires_grad=True)
+    check_gradients(lambda: (cell(x, h0) ** 2).sum(),
+                    [x, h0] + cell.parameters(), atol=1e-4)
+
+
+def test_fused_lstm_sequence_kernel_gradcheck():
+    """The whole-layer kernel against finite differences, including the
+    final-state outputs (which exercise the two-output backward wiring)."""
+    rng = np.random.default_rng(43)
+    x = Tensor(rng.normal(scale=0.5, size=(2, 4, 3)), requires_grad=True)
+    h0 = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+    c0 = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+    w_x = Tensor(rng.normal(scale=0.3, size=(3, 16)), requires_grad=True)
+    w_h = Tensor(rng.normal(scale=0.3, size=(4, 16)), requires_grad=True)
+    bias = Tensor(rng.normal(scale=0.3, size=(16,)), requires_grad=True)
+
+    def fn():
+        h_seq, h_t, c_t = nn.fused_lstm_sequence(x, h0, c0, w_x, w_h, bias)
+        return (h_seq * h_seq).sum() + (h_t * 0.5).sum() + (c_t * 1.7).sum()
+
+    check_gradients(fn, [x, h0, c0, w_x, w_h, bias], atol=1e-4)
+
+
+def test_fused_gru_sequence_kernel_gradcheck():
+    rng = np.random.default_rng(44)
+    x = Tensor(rng.normal(scale=0.5, size=(2, 4, 3)), requires_grad=True)
+    h0 = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+    w_x = Tensor(rng.normal(scale=0.3, size=(3, 8)), requires_grad=True)
+    w_h = Tensor(rng.normal(scale=0.3, size=(4, 8)), requires_grad=True)
+    bias = Tensor(rng.normal(scale=0.3, size=(8,)), requires_grad=True)
+    w_xc = Tensor(rng.normal(scale=0.3, size=(3, 4)), requires_grad=True)
+    w_hc = Tensor(rng.normal(scale=0.3, size=(4, 4)), requires_grad=True)
+    bias_c = Tensor(rng.normal(scale=0.3, size=(4,)), requires_grad=True)
+
+    def fn():
+        h_seq, h_t = nn.fused_gru_sequence(x, h0, w_x, w_h, bias,
+                                           w_xc, w_hc, bias_c)
+        return (h_seq * h_seq).sum() + (h_t * 0.5).sum()
+
+    check_gradients(fn, [x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c], atol=1e-4)
+
+
+def test_split_gradcheck():
+    x = Tensor(_rand((3, 6), 45), requires_grad=True)
+
+    def fn():
+        a, b, c = nn.split(x, 2, axis=1)
+        return (a * a).sum() + (b * 3.0).sum() + c.tanh().sum()
+
+    check_gradients(fn, [x])
+
+
+def test_fused_lstm_cell_gradcheck_float32():
+    """float32 needs a larger step and looser tolerance: the finite
+    difference itself only carries ~3 significant digits."""
+    with nn.default_dtype(np.float32):
+        rng = np.random.default_rng(46)
+        cell = nn.LSTMCell(3, 4, rng, fused=True)
+        x = Tensor(_rand((2, 3), 47), requires_grad=True, dtype=np.float32)
+
+        def fn():
+            h, c = cell(x, cell.initial_state(2))
+            return ((h * h).sum() + (c * c).sum()).astype(np.float64)
+
+        check_gradients(fn, [x, cell.w_x, cell.w_h, cell.bias],
+                        eps=1e-2, atol=1e-1, rtol=1e-2)
 
 
 def test_attention_gradcheck():

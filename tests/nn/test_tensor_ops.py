@@ -3,7 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.nn import Tensor, concat, maximum, minimum, no_grad, stack, where
+from repro.nn import (
+    Tensor,
+    chunk,
+    concat,
+    default_dtype,
+    get_default_dtype,
+    maximum,
+    minimum,
+    no_grad,
+    split,
+    stack,
+    where,
+)
 
 
 def test_add_broadcast_values_and_grads():
@@ -202,3 +214,89 @@ def test_backward_raises_without_grad():
     x = Tensor([1.0])
     with pytest.raises(RuntimeError):
         x.backward()
+
+
+def test_split_even_chunks_values_and_grads():
+    x = Tensor(np.arange(12.0).reshape(2, 6), requires_grad=True)
+    a, b, c = split(x, 2, axis=1)
+    np.testing.assert_allclose(a.data, [[0, 1], [6, 7]])
+    np.testing.assert_allclose(c.data, [[4, 5], [10, 11]])
+    (a * 1.0 + b * 2.0 + c * 3.0).sum().backward()
+    np.testing.assert_allclose(
+        x.grad, np.repeat([[1.0, 2.0, 3.0]], 2, axis=0).repeat(2, axis=1))
+
+
+def test_split_explicit_sections():
+    x = Tensor(np.arange(10.0), requires_grad=True)
+    a, b = split(x, [3, 7], axis=0)
+    assert a.shape == (3,) and b.shape == (7,)
+    b.sum().backward()
+    np.testing.assert_allclose(x.grad, [0] * 3 + [1] * 7)
+
+
+def test_split_partial_use_leaves_zero_grad_elsewhere():
+    """Unused pieces must not contribute gradient (the shared-buffer
+    backward writes only the used slice)."""
+    x = Tensor(np.ones((4, 4)), requires_grad=True)
+    pieces = split(x, 1, axis=0)
+    pieces[2].sum().backward()
+    expected = np.zeros((4, 4))
+    expected[2] = 1.0
+    np.testing.assert_allclose(x.grad, expected)
+
+
+def test_split_uneven_last_chunk_is_smaller():
+    x = Tensor(np.ones(7))
+    pieces = split(x, 2, axis=0)
+    assert [p.shape[0] for p in pieces] == [2, 2, 2, 1]
+
+
+def test_split_rejects_mismatched_sections():
+    x = Tensor(np.ones(7))
+    with pytest.raises(ValueError):
+        split(x, [3, 3], axis=0)
+
+
+def test_chunk_rejects_indivisible_length():
+    x = Tensor(np.ones(7))
+    with pytest.raises(ValueError):
+        chunk(x, 2, axis=0)
+
+
+def test_chunk_matches_numpy_array_split():
+    x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    parts = chunk(x, 2, axis=1)
+    assert [p.shape for p in parts] == [(3, 2), (3, 2)]
+    np.testing.assert_allclose(parts[1].data, x.data[:, 2:])
+
+
+def test_default_dtype_context_and_cast():
+    assert get_default_dtype() == np.float64
+    with default_dtype(np.float32):
+        assert get_default_dtype() == np.float32
+        t = Tensor([1, 2, 3])           # non-floating input follows default
+        assert t.data.dtype == np.float32
+    assert get_default_dtype() == np.float64
+
+
+def test_set_default_dtype_rejects_non_float():
+    with pytest.raises(ValueError):
+        with default_dtype(np.int32):
+            pass
+
+
+def test_explicit_dtype_casts_and_grad_matches():
+    x = Tensor([1.0, 2.0], dtype=np.float32, requires_grad=True)
+    assert x.data.dtype == np.float32
+    (x * x).sum().backward()
+    assert x.grad.dtype == np.float32
+    np.testing.assert_allclose(x.grad, [2.0, 4.0])
+
+
+def test_astype_roundtrips_gradient():
+    x = Tensor([1.0, 2.0], requires_grad=True)
+    y = x.astype(np.float32)
+    assert y.data.dtype == np.float32
+    (y * 3.0).sum().backward()
+    assert x.grad.dtype == np.float64
+    np.testing.assert_allclose(x.grad, [3.0, 3.0])
