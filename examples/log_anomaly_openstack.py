@@ -44,7 +44,7 @@ def main():
         if eta == 0.45:
             # Why does CLFD hold up?  Inspect its learned representation
             # geometry on the test set.
-            features = clfd.fraud_detector.encode(test)
+            _, _, features = clfd.predict(test, return_embeddings=True)
             report = representation_report(features, test.labels())
             print(f"\nCLFD test-set representation at η={eta}: {report}\n")
 

@@ -1,8 +1,13 @@
 """Shared infrastructure for the eight baselines of §IV-A3.
 
-Every baseline implements ``fit(train, rng)`` and
-``predict(test) -> (labels, scores)``, mirroring :class:`repro.core.CLFD`,
-so the experiment harness can treat all models uniformly.
+:class:`Estimator` is the repo-wide model contract: everything the
+experiment harness, the serving layer, and the analysis tools train or
+score — :class:`repro.core.CLFD`, :class:`repro.core.CoTeachingCLFD`,
+and each baseline here — satisfies ``fit(train, rng=...)``,
+``predict(dataset) -> (labels, scores)`` and
+``predict_proba(dataset) -> (n, 2) probabilities``.  The protocol is
+structural (:class:`typing.Protocol`): conformance is by signature, not
+inheritance, so callers never need ``isinstance`` checks.
 
 The paper adapts each baseline to sessions by replacing its image
 network with a two-hidden-layer LSTM session encoder (§IV-A3); the
@@ -12,6 +17,7 @@ network with a two-hidden-layer LSTM session encoder (§IV-A3); the
 from __future__ import annotations
 
 import dataclasses
+from typing import Protocol
 
 import numpy as np
 
@@ -21,7 +27,34 @@ from ..data.pipeline import SessionVectorizer
 from ..data.sessions import SessionDataset, iter_batches
 from ..data.word2vec import Word2VecConfig
 
-__all__ = ["BaselineConfig", "BaselineModel", "EncoderClassifier"]
+__all__ = ["Estimator", "BaselineConfig", "BaselineModel",
+           "EncoderClassifier"]
+
+
+class Estimator(Protocol):
+    """Structural contract shared by CLFD and every baseline.
+
+    ``scores`` (the second element of :meth:`predict`) is a
+    monotone-in-maliciousness number in ``[0, 1]`` usable for AUC and
+    threshold calibration; :meth:`predict_proba` refines it into a
+    two-column distribution ``[p(normal), p(malicious)]``.  For
+    threshold detectors (DeepLog, LogBert) the distribution is derived
+    from the anomaly score, so columns still sum to one.
+    """
+
+    def fit(self, train: SessionDataset,
+            rng: np.random.Generator | None = None) -> "Estimator":
+        """Train on the noisy labels of ``train``; returns ``self``."""
+        ...  # pragma: no cover - protocol stub
+
+    def predict(self, dataset: SessionDataset
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(labels, malicious scores)`` for every session."""
+        ...  # pragma: no cover - protocol stub
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Return an ``(n, 2)`` array of class probabilities."""
+        ...  # pragma: no cover - protocol stub
 
 
 @dataclasses.dataclass
@@ -71,12 +104,30 @@ class BaselineModel:
             raise RuntimeError(f"{type(self).__name__}.fit must be called first")
         return self._predict(dataset)
 
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Class probabilities ``[p(normal), p(malicious)]`` per session."""
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__}.fit must be called first")
+        return self._predict_proba(dataset)
+
     # Subclass hooks -----------------------------------------------------
     def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
         raise NotImplementedError
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
         raise NotImplementedError
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Default: treat the malicious score as ``p(malicious)``.
+
+        Correct as-is for models whose ``_predict`` already returns a
+        probability; threshold detectors keep this derivation so the
+        Estimator protocol holds uniformly.  Softmax-headed models
+        override it with their actual distribution.
+        """
+        _, scores = self._predict(dataset)
+        scores = np.clip(np.asarray(scores, dtype=np.float64), 0.0, 1.0)
+        return np.stack([1.0 - scores, scores], axis=1)
 
 
 class EncoderClassifier(nn.Module):

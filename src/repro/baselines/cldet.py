@@ -53,3 +53,6 @@ class CLDetModel(BaselineModel):
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
         return self._corrector.predict(dataset)
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        return self._corrector.predict_proba(dataset)

@@ -70,3 +70,6 @@ class CTRRModel(BaselineModel):
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
         return self.net.predict_dataset(dataset, self.vectorizer)
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        return self.net.probs_dataset(dataset, self.vectorizer)

@@ -142,9 +142,12 @@ class DivMixModel(BaselineModel):
             optimizer.step()
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        probs = self._predict_proba(dataset)
+        return probs.argmax(axis=1), probs[:, 1]
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
         # Ensemble the two networks, as DivideMix does at test time.
-        probs = np.mean(
+        return np.mean(
             [net.probs_dataset(dataset, self.vectorizer) for net in self.nets],
             axis=0,
         )
-        return probs.argmax(axis=1), probs[:, 1]

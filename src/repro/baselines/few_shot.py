@@ -59,11 +59,14 @@ class FewShotModel(BaselineModel):
                 optimizer.step()
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        probs = self._predict_proba(dataset)
+        return probs.argmax(axis=1), probs[:, 1]
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
         all_probs = []
         for batch in iter_batches(dataset, 256):
             x, lengths = self.vectorizer.transform(dataset, indices=batch)
             with nn.no_grad():
                 pooled = self.encoder.mean_pool(nn.Tensor(x), lengths)
                 all_probs.append(self.head.probs(pooled).data)
-        probs = np.concatenate(all_probs, axis=0)
-        return probs.argmax(axis=1), probs[:, 1]
+        return np.concatenate(all_probs, axis=0)

@@ -152,3 +152,8 @@ class SelCLModel(BaselineModel):
         features = self._encode(dataset)
         labels, scores = self.head.predict_numpy(features)
         return labels, scores
+
+    def _predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        features = self._encode(dataset)
+        with nn.no_grad():
+            return self.head.probs(features).data

@@ -7,6 +7,8 @@ Usage::
     python -m repro ablation --noise uniform
     python -m repro latency
     python -m repro demo
+    python -m repro save --out model.npz
+    python -m repro serve --model model.npz
 
 Each command prints the measured table; scale/seed options map onto
 :class:`repro.experiments.ExperimentSettings`.
@@ -77,6 +79,28 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--dataset", default="cert",
                       choices=("cert", "umd-wikipedia", "openstack"))
     demo.add_argument("--eta", type=float, default=0.3)
+
+    save = sub.add_parser(
+        "save", help="train CLFD once and persist it for serving")
+    save.add_argument("--out", required=True,
+                      help="target archive path (.npz appended if missing)")
+    save.add_argument("--dataset", default="cert",
+                      choices=("cert", "umd-wikipedia", "openstack"))
+    save.add_argument("--eta", type=float, default=0.3)
+
+    serve = sub.add_parser(
+        "serve", help="serve a persisted model over HTTP with micro-batching")
+    serve.add_argument("--model", required=True,
+                       help="archive written by `repro save` / save_clfd")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8000,
+                       help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="micro-batch size ceiling")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescing window after the first request")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="queue bound before 429 backpressure")
     return parser
 
 
@@ -138,6 +162,14 @@ def main(argv: list[str] | None = None) -> int:
         print(format_sweep(args.field, points))
     elif args.command == "demo":
         _run_demo(args, settings)
+    elif args.command == "save":
+        _run_save(args, settings)
+    elif args.command == "serve":
+        from .serve import run_server
+
+        run_server(args.model, host=args.host, port=args.port,
+                   max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+                   max_queue=args.max_queue)
     return 0
 
 
@@ -174,5 +206,23 @@ def _run_demo(args, settings: ExperimentSettings) -> None:
     print(", ".join(f"{k}={v:.1f}%" for k, v in metrics.items()))
 
 
+def _run_save(args, settings: ExperimentSettings) -> None:
+    from . import CLFD
+    from .core import save_clfd
+    from .data import apply_uniform_noise, make_dataset
+
+    rng = np.random.default_rng(0)
+    train, _ = make_dataset(args.dataset, rng, scale=settings.scale)
+    apply_uniform_noise(train, eta=args.eta, rng=rng)
+    print(f"training CLFD on {args.dataset} "
+          f"(scale={settings.scale}, eta={args.eta}) ...")
+    model = CLFD(settings.clfd_config()).fit(train,
+                                             rng=np.random.default_rng(0))
+    path = save_clfd(model, args.out)
+    print(f"saved model to {path} "
+          f"(serve it: python -m repro serve --model {path})")
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(main())
+

@@ -76,14 +76,33 @@ class CLFD:
         return self
 
     # ------------------------------------------------------------------
-    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
-        """Classify sessions: returns (predicted labels, malicious scores)."""
+    def predict(self, dataset: SessionDataset, *,
+                return_embeddings: bool = False):
+        """Classify sessions: returns ``(labels, malicious scores)``.
+
+        With ``return_embeddings=True`` the encoded representations used
+        for classification ride along as a third element, ``(labels,
+        scores, embeddings)`` — the supported way for serving and
+        representation analyses to obtain the encoder output without
+        reaching into ``fraud_detector.encoder`` internals.  The
+        embeddings come from whichever component performs inference
+        (fraud detector, or label corrector under the "w/o FD"
+        ablation), at zero extra forward cost.
+        """
+        if not self._fitted:
+            raise RuntimeError("CLFD.fit must be called first")
+        component = (self.fraud_detector if self.config.use_fraud_detector
+                     else self.label_corrector)
+        return component.predict(dataset,
+                                 return_embeddings=return_embeddings)
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Class probabilities ``[p(normal), p(malicious)]`` per session."""
         if not self._fitted:
             raise RuntimeError("CLFD.fit must be called first")
         if self.config.use_fraud_detector:
-            return self.fraud_detector.predict(dataset)
-        # "w/o FD": the trained label corrector performs inference.
-        return self.label_corrector.predict(dataset)
+            return self.fraud_detector.predict_proba(dataset)
+        return self.label_corrector.predict_proba(dataset)
 
     def correction_quality(self, train: SessionDataset) -> dict[str, float]:
         """Table III metrics: TPR/TNR of corrected labels vs ground truth."""

@@ -42,7 +42,15 @@ class CoTeachingCorrector:
         ]
         self._fitted = False
 
-    def fit(self, train: SessionDataset) -> "CoTeachingCorrector":
+    def fit(self, train: SessionDataset,
+            rng: np.random.Generator | None = None) -> "CoTeachingCorrector":
+        """Train both correctors.
+
+        ``rng`` exists for :class:`~repro.baselines.Estimator`
+        conformance; the two correctors draw their seeds at construction
+        time, so it is unused here.
+        """
+        del rng
         for corrector in self.correctors:
             corrector.fit(train)
         self._fitted = True
@@ -67,6 +75,20 @@ class CoTeachingCorrector:
         disagree_conf = 0.5 + np.abs(conf_a - conf_b) / 2.0
         confidences = np.where(agree, agree_conf, disagree_conf)
         return labels.astype(np.int64), confidences
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Product-rule fusion of the two correctors' distributions."""
+        if not self._fitted:
+            raise RuntimeError("CoTeachingCorrector.fit must be called first")
+        probs_a, probs_b = (corrector.predict_proba(dataset)
+                            for corrector in self.correctors)
+        fused = probs_a * probs_b
+        return fused / np.maximum(fused.sum(axis=1, keepdims=True), 1e-12)
+
+    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+        """Test-time inference from the fused distribution."""
+        probs = self.predict_proba(dataset)
+        return probs.argmax(axis=1), probs[:, 1]
 
     def agreement_rate(self, dataset: SessionDataset) -> float:
         """Fraction of sessions the two correctors agree on."""
@@ -109,10 +131,17 @@ class CoTeachingCLFD:
         self._fitted = True
         return self
 
-    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+    def predict(self, dataset: SessionDataset, *,
+                return_embeddings: bool = False):
         if not self._fitted:
             raise RuntimeError("CoTeachingCLFD.fit must be called first")
-        return self.fraud_detector.predict(dataset)
+        return self.fraud_detector.predict(
+            dataset, return_embeddings=return_embeddings)
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("CoTeachingCLFD.fit must be called first")
+        return self.fraud_detector.predict_proba(dataset)
 
     def correction_quality(self, train: SessionDataset) -> dict[str, float]:
         from ..metrics import true_rates

@@ -137,15 +137,39 @@ class FraudDetector:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
-        """Classify test sessions: returns (labels, malicious scores)."""
+    def predict(self, dataset: SessionDataset, *,
+                return_embeddings: bool = False):
+        """Classify test sessions: returns (labels, malicious scores).
+
+        ``return_embeddings=True`` appends the encoded representations
+        (the same array classification ran on) as a third element.
+        """
         self._require_fitted()
         features = self._encode_dataset(dataset)
         if self.config.inference == "centroid":
-            return self._predict_centroid(features)
+            labels, scores = self._predict_centroid(features)
+        else:
+            with nn.no_grad():
+                probs = self.classifier.probs(features).data
+            labels, scores = probs.argmax(axis=1), probs[:, 1]
+        if return_embeddings:
+            return labels, scores, features
+        return labels, scores
+
+    def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
+        """Class probabilities per session.
+
+        FCNN inference returns the head's softmax; centroid inference
+        ("w/o classifier" ablation) turns its softmin proximity score
+        into a two-column distribution.
+        """
+        self._require_fitted()
+        features = self._encode_dataset(dataset)
+        if self.config.inference == "centroid":
+            _, scores = self._predict_centroid(features)
+            return np.stack([1.0 - scores, scores], axis=1)
         with nn.no_grad():
-            probs = self.classifier.probs(features).data
-        return probs.argmax(axis=1), probs[:, 1]
+            return self.classifier.probs(features).data
 
     def _predict_centroid(self, features: np.ndarray,
                           ) -> tuple[np.ndarray, np.ndarray]:

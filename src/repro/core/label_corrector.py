@@ -130,13 +130,22 @@ class LabelCorrector:
             probs = self.classifier.probs(features).data
         return probs.argmax(axis=1), probs.max(axis=1)
 
-    def predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:
+    def predict(self, dataset: SessionDataset, *,
+                return_embeddings: bool = False):
         """Test-time inference (used by the "w/o FD" ablation).
 
-        Returns (labels, malicious-class scores).
+        Returns (labels, malicious-class scores); with
+        ``return_embeddings=True`` the frozen-encoder representations
+        ride along as a third element.
         """
-        probs = self.predict_proba(dataset)
-        return probs.argmax(axis=1), probs[:, 1]
+        self._require_fitted()
+        features = self._encode_dataset(dataset)
+        with nn.no_grad():
+            probs = self.classifier.probs(features).data
+        labels, scores = probs.argmax(axis=1), probs[:, 1]
+        if return_embeddings:
+            return labels, scores, features
+        return labels, scores
 
     def predict_proba(self, dataset: SessionDataset) -> np.ndarray:
         """Full softmax outputs [f₀(v), f₁(v)] for every session.

@@ -5,7 +5,19 @@ word2vec embedding matrix, the corrector's encoder + head, and the
 detector's encoder + head (plus its class centroids) — along with the
 configuration needed to rebuild the module graph.  Everything is packed
 into a single ``.npz`` archive so a trained detector can be shipped to
-an inference service without the training data.
+an inference service (see :mod:`repro.serve`) without the training data.
+
+Format notes
+------------
+* Version 2 adds the activity vocabulary (token strings in id order) so
+  a serving process can encode raw activity tokens; version-1 archives
+  still load, with ``vectorizer.vocab`` left as ``None``.
+* :func:`save_clfd` is atomic — the archive is written to a temp file in
+  the target directory and renamed into place — and always writes a
+  ``.npz`` suffix (``np.savez`` appends one silently, which used to
+  break the ``save_clfd(m, "model")`` / ``load_clfd("model")``
+  round-trip).  Both functions resolve suffix-less paths the same way;
+  ``save_clfd`` returns the path actually written.
 """
 
 from __future__ import annotations
@@ -13,10 +25,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import pathlib
 
 import numpy as np
 
 from ..data.pipeline import SessionVectorizer
+from ..data.vocab import Vocabulary
 from ..data.word2vec import SkipGramModel, Word2VecConfig
 from .clfd import CLFD
 from .config import CLFDConfig
@@ -25,7 +39,8 @@ from .label_corrector import LabelCorrector
 
 __all__ = ["save_clfd", "load_clfd"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _flatten_state(prefix: str, state: dict[str, np.ndarray],
@@ -41,20 +56,33 @@ def _extract_state(prefix: str,
             if key.startswith(prefix + "/")}
 
 
-def save_clfd(model: CLFD, path: str | os.PathLike) -> None:
-    """Serialise a fitted CLFD model to ``path`` (npz)."""
+def _normalize_path(path: str | os.PathLike) -> pathlib.Path:
+    """Append ``.npz`` unless the path already carries the suffix."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def save_clfd(model: CLFD, path: str | os.PathLike) -> pathlib.Path:
+    """Serialise a fitted CLFD model; returns the ``.npz`` path written."""
     if model.vectorizer is None:
         raise ValueError("cannot save an unfitted CLFD model")
     payload: dict[str, np.ndarray] = {}
 
     config_dict = dataclasses.asdict(model.config)
     config_dict["word2vec"] = dataclasses.asdict(model.config.word2vec)
+    vocab = model.vectorizer.vocab
     meta = {
         "format_version": _FORMAT_VERSION,
         "config": config_dict,
         "max_len": model.vectorizer.max_len,
         "has_corrector": model.label_corrector is not None,
         "has_detector": model.fraud_detector is not None,
+        # Token strings in id order (including the pad token) so the
+        # serving layer can encode raw sessions; None when the
+        # vectorizer was built without a vocabulary.
+        "vocab": vocab.tokens() if vocab is not None else None,
     }
     payload["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -73,20 +101,36 @@ def save_clfd(model: CLFD, path: str | os.PathLike) -> None:
                        model.fraud_detector.classifier.state_dict(), payload)
         if model.fraud_detector.centroids is not None:
             payload["detector/centroids"] = model.fraud_detector.centroids
-    np.savez(path, **payload)
+
+    path = _normalize_path(path)
+    # Atomic publish: never leave a half-written archive at the target
+    # path, even if the process dies mid-save.
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def load_clfd(path: str | os.PathLike) -> CLFD:
     """Restore a CLFD model saved by :func:`save_clfd`.
 
-    The returned model is ready for :meth:`CLFD.predict`; training state
+    Accepts the same suffix-less paths as :func:`save_clfd`.  The
+    returned model is ready for :meth:`CLFD.predict`; training state
     (corrected labels, loss histories) is not persisted.
     """
+    path = pathlib.Path(path)
+    if not path.exists():
+        path = _normalize_path(path)
     with np.load(path) as archive:
         data = {key: archive[key] for key in archive.files}
 
     meta = json.loads(bytes(data["meta"]).decode("utf-8"))
-    if meta["format_version"] != _FORMAT_VERSION:
+    if meta["format_version"] not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported CLFD archive version {meta['format_version']}"
         )
@@ -96,8 +140,11 @@ def load_clfd(path: str | os.PathLike) -> CLFD:
 
     model = CLFD(config)
     vectors = data["word2vec/vectors"]
+    tokens = meta.get("vocab")
+    vocab = Vocabulary(tokens[1:]) if tokens else None
     model.vectorizer = SessionVectorizer(SkipGramModel(vectors),
-                                         max_len=int(meta["max_len"]))
+                                         max_len=int(meta["max_len"]),
+                                         vocab=vocab)
 
     # Module construction consumes RNG draws; the exact seed is
     # irrelevant because every parameter is overwritten from the archive.

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from .sessions import SessionDataset
+from .vocab import Vocabulary
 from .word2vec import SkipGramModel, Word2VecConfig, train_word2vec
 
 __all__ = ["SessionVectorizer"]
@@ -25,13 +26,19 @@ class SessionVectorizer:
         from a corpus in a single call.
     max_len: pad/truncate length for every batch (the paper fixes T per
         dataset; we default to the training corpus maximum).
+    vocab: the activity vocabulary the embedding rows are indexed by.
+        Optional for array-only workflows, but required by the serving
+        layer to encode raw activity *tokens* (and persisted alongside
+        the embeddings by :func:`repro.core.persistence.save_clfd`).
     """
 
-    def __init__(self, model: SkipGramModel, max_len: int):
+    def __init__(self, model: SkipGramModel, max_len: int,
+                 vocab: Vocabulary | None = None):
         if max_len < 1:
             raise ValueError("max_len must be >= 1")
         self.model = model
         self.max_len = max_len
+        self.vocab = vocab
         # Epoch-persistent embedding cache: dataset identity -> fully
         # embedded (x, lengths).  Training loops re-embed the same
         # sessions every batch of every epoch; precomputing once turns
@@ -46,7 +53,7 @@ class SessionVectorizer:
             rng: np.random.Generator | None = None) -> "SessionVectorizer":
         """Train word2vec on ``corpus`` and return a ready vectorizer."""
         model = train_word2vec(corpus, config=config, rng=rng)
-        return cls(model, max_len=corpus.max_length())
+        return cls(model, max_len=corpus.max_length(), vocab=corpus.vocab)
 
     @property
     def dim(self) -> int:

@@ -11,6 +11,7 @@ from .runner import (
     ABLATIONS,
     NoiseSpec,
     class_dependent_noise,
+    estimator_registry,
     format_ablation_table,
     format_comparison_table,
     run_ablation,
@@ -35,7 +36,7 @@ from .settings import (
 __all__ = [
     "ExperimentSettings", "DATASETS", "UNIFORM_ETAS", "CLASS_DEPENDENT_RATES",
     "NoiseSpec", "uniform_noise", "class_dependent_noise",
-    "run_single", "run_comparison",
+    "estimator_registry", "run_single", "run_comparison",
     "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
     "run_ablation", "run_latency", "ABLATIONS",
     "format_comparison_table", "format_ablation_table",

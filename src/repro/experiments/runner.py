@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..baselines import BASELINES
+from ..baselines import BASELINES, Estimator
 from ..core import CLFD, CLFDConfig
 from ..data import (
     SessionDataset,
@@ -34,6 +34,7 @@ __all__ = [
     "NoiseSpec",
     "uniform_noise",
     "class_dependent_noise",
+    "estimator_registry",
     "run_single",
     "run_comparison",
     "run_table1",
@@ -81,23 +82,36 @@ def class_dependent_noise(eta_10: float = CLASS_DEPENDENT_RATES[0],
     )
 
 
+def estimator_registry(settings: ExperimentSettings
+                       ) -> dict[str, Callable[[], Estimator]]:
+    """Every model the harness can run, as Estimator factories.
+
+    CLFD and the baselines enter one registry and are driven through
+    the :class:`~repro.baselines.Estimator` protocol from here on —
+    no per-model special cases downstream.
+    """
+    registry: dict[str, Callable[[], Estimator]] = {
+        "CLFD": lambda: CLFD(settings.clfd_config()),
+    }
+    for name, cls in BASELINES.items():
+        registry[name] = (lambda c=cls: c(settings.baseline_config()))
+    return registry
+
+
 def _model_factories(settings: ExperimentSettings,
-                     models: Sequence[str]) -> dict[str, Callable]:
-    factories: dict[str, Callable] = {}
-    for name in models:
-        if name == "CLFD":
-            factories[name] = lambda: CLFD(settings.clfd_config())
-        elif name in BASELINES:
-            cls = BASELINES[name]
-            factories[name] = (lambda c=cls: c(settings.baseline_config()))
-        else:
-            raise KeyError(f"unknown model {name!r}")
-    return factories
+                     models: Sequence[str]
+                     ) -> dict[str, Callable[[], Estimator]]:
+    registry = estimator_registry(settings)
+    unknown = [name for name in models if name not in registry]
+    if unknown:
+        raise KeyError(f"unknown model(s) {unknown!r}; "
+                       f"choose from {sorted(registry)}")
+    return {name: registry[name] for name in models}
 
 
-def run_single(model_factory: Callable, dataset: str, noise: NoiseSpec,
-               seed: int, scale: float) -> dict[str, float]:
-    """Train one model on one noisy split; return test metrics."""
+def run_single(model_factory: Callable[[], Estimator], dataset: str,
+               noise: NoiseSpec, seed: int, scale: float) -> dict[str, float]:
+    """Train one estimator on one noisy split; return test metrics."""
     rng = np.random.default_rng(seed)
     train, test = make_dataset(dataset, rng, scale=scale)
     noise(train, rng)

@@ -1,0 +1,34 @@
+"""repro.serve: micro-batched inference serving for trained CLFD models.
+
+The deployment story the paper gestures at ("the FCNN head is shipped
+to an inference service") made concrete:
+
+* :class:`InferenceEngine` — warm-loads a persisted archive and scores
+  raw sessions with request micro-batching;
+* :class:`MicroBatcher` — coalesces concurrent single-session requests
+  into padded batches (bounded queue = backpressure);
+* :class:`ServingServer` / :func:`run_server` — stdlib HTTP front end
+  (``/score``, ``/healthz``, ``/metrics``), started from the CLI with
+  ``python -m repro serve --model model.npz``;
+* :mod:`~repro.serve.schemas` — request validation with structured,
+  client-visible errors.
+"""
+
+from .batcher import MicroBatcher, QueueFullError
+from .engine import InferenceEngine
+from .metrics import ServingMetrics
+from .schemas import (
+    RawSession,
+    RequestError,
+    ScoreResult,
+    parse_score_request,
+    parse_session,
+)
+from .server import ServingServer, run_server
+
+__all__ = [
+    "InferenceEngine", "MicroBatcher", "QueueFullError", "ServingMetrics",
+    "ServingServer", "run_server",
+    "RawSession", "RequestError", "ScoreResult",
+    "parse_session", "parse_score_request",
+]

@@ -1,0 +1,203 @@
+"""The micro-batched inference engine.
+
+:class:`InferenceEngine` owns a warm-loaded CLFD model and a
+:class:`~repro.serve.batcher.MicroBatcher`.  Callers (HTTP handler
+threads, or library users) submit one raw session at a time; the
+batcher coalesces them and the engine scores each batch with a single
+padded forward pass through the standard
+:meth:`CLFD.predict(..., return_embeddings=...) <repro.core.CLFD.predict>`
+path — the engine never touches encoder internals.
+
+Degradation policy (per ISSUE motivation: deployment-time scoring is
+where detectors fail in practice):
+
+* malformed payloads raise a structured
+  :class:`~repro.serve.schemas.RequestError` at *submit* time, before
+  they can poison a batch;
+* unseen activity tokens and out-of-range activity ids degrade to the
+  padding embedding (≈ zero vector) and are reported per session as
+  ``oov_count`` instead of failing the request;
+* a full queue raises ``RequestError(queue_full, status=429)`` —
+  backpressure, not unbounded buffering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from concurrent.futures import Future
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..core.clfd import CLFD
+from ..data.sessions import Session, SessionDataset
+from ..data.vocab import Vocabulary
+from ..nn.profiler import Profiler
+from .batcher import MicroBatcher, QueueFullError
+from .metrics import ServingMetrics
+from .schemas import RawSession, RequestError, ScoreResult, parse_session
+
+__all__ = ["InferenceEngine"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _Encoded:
+    """A session after vocabulary encoding, ready to batch."""
+
+    ids: tuple[int, ...]
+    session_id: str
+    oov_count: int
+
+
+class InferenceEngine:
+    """Scores raw sessions against a fitted CLFD with micro-batching.
+
+    Parameters
+    ----------
+    model: a *fitted* CLFD (typically from
+        :func:`repro.core.load_clfd`).
+    max_batch / max_wait_ms / max_queue: micro-batcher knobs — batch
+        ceiling, coalescing window, and backpressure bound.
+    include_embeddings: attach the encoder representation to every
+        :class:`ScoreResult` (for downstream similarity search /
+        representation monitoring).
+    warmup: run one throwaway forward at construction so the first real
+        request does not pay first-call allocation costs.
+    """
+
+    def __init__(self, model: CLFD, *, max_batch: int = 32,
+                 max_wait_ms: float = 2.0, max_queue: int = 1024,
+                 include_embeddings: bool = False, warmup: bool = True,
+                 metrics: ServingMetrics | None = None):
+        if model.vectorizer is None:
+            raise ValueError("InferenceEngine requires a fitted CLFD")
+        self.model = model
+        self.vectorizer = model.vectorizer
+        self.include_embeddings = include_embeddings
+        self.metrics = metrics or ServingMetrics()
+        self.profiler = Profiler()
+        self._vocab = self.vectorizer.vocab
+        self._vocab_size = self.vectorizer.model.vocab_size
+        self._dataset_vocab = self._vocab or Vocabulary()
+        if warmup:
+            self._score_batch([_Encoded(ids=(0,), session_id="warmup",
+                                        oov_count=0)])
+        self.batcher = MicroBatcher(
+            self._score_batch, max_batch=max_batch, max_wait_ms=max_wait_ms,
+            max_queue=max_queue, on_batch=self.metrics.record_batch,
+        )
+
+    @classmethod
+    def from_archive(cls, path: str | os.PathLike,
+                     **kwargs) -> "InferenceEngine":
+        """Warm-load a persisted archive (see :func:`repro.core.load_clfd`)."""
+        from ..core.persistence import load_clfd
+
+        return cls(load_clfd(path), **kwargs)
+
+    # ------------------------------------------------------------------
+    # Public scoring API
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any) -> "Future[ScoreResult]":
+        """Validate + encode ``payload`` and enqueue it for scoring.
+
+        Raises :class:`RequestError` for malformed payloads or when the
+        queue is full; otherwise returns a future resolving to the
+        session's :class:`ScoreResult`.
+        """
+        raw = payload if isinstance(payload, RawSession) \
+            else parse_session(payload)
+        encoded = self._encode(raw)
+        try:
+            return self.batcher.submit(encoded)
+        except QueueFullError as exc:
+            raise RequestError("queue_full", str(exc), status=429) from None
+
+    def score(self, payload: Any, timeout: float | None = 30.0) -> ScoreResult:
+        """Synchronous single-session scoring (submit + wait)."""
+        return self.submit(payload).result(timeout=timeout)
+
+    def score_many(self, payloads: Iterable[Any],
+                   timeout: float | None = 30.0) -> list[ScoreResult]:
+        """Score several sessions, preserving order.
+
+        All payloads are validated and enqueued before the first wait,
+        so they can share micro-batches.
+        """
+        futures = [self.submit(p) for p in payloads]
+        return [future.result(timeout=timeout) for future in futures]
+
+    @property
+    def queue_depth(self) -> int:
+        return self.batcher.pending
+
+    def close(self) -> None:
+        self.batcher.close()
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _encode(self, raw: RawSession) -> _Encoded:
+        """Map tokens/ids into embedding rows, with OOV degradation."""
+        pad = self._dataset_vocab.pad_id
+        ids: list[int] = []
+        oov = 0
+        for activity in raw.activities:
+            if isinstance(activity, int):
+                if 0 <= activity < self._vocab_size:
+                    ids.append(int(activity))
+                else:
+                    ids.append(pad)
+                    oov += 1
+            else:
+                if self._vocab is None:
+                    raise RequestError(
+                        "tokens_unsupported",
+                        "this model archive carries no vocabulary "
+                        "(format v1); send integer activity ids",
+                    )
+                if activity in self._vocab:
+                    ids.append(self._vocab[activity])
+                else:
+                    ids.append(pad)
+                    oov += 1
+        # The model pads/truncates at max_len anyway; trim early so a
+        # long session does not inflate the batch buffers.
+        ids = ids[: self.vectorizer.max_len]
+        return _Encoded(ids=tuple(ids), session_id=raw.session_id,
+                        oov_count=oov)
+
+    def _score_batch(self, items: list[_Encoded]) -> list[ScoreResult]:
+        """One padded forward pass for a coalesced micro-batch."""
+        dataset = SessionDataset(
+            [Session(activities=list(item.ids), label=0,
+                     session_id=item.session_id) for item in items],
+            self._dataset_vocab, name="serve-batch",
+        )
+        with self.profiler.timer("batch_forward"):
+            if self.include_embeddings:
+                labels, scores, embeddings = self.model.predict(
+                    dataset, return_embeddings=True)
+            else:
+                labels, scores = self.model.predict(dataset)
+                embeddings = None
+        results = []
+        for row, item in enumerate(items):
+            score = float(scores[row])
+            results.append(ScoreResult(
+                session_id=item.session_id,
+                label=int(labels[row]),
+                score=score,
+                probs=(1.0 - score, score),
+                oov_count=item.oov_count,
+                embedding=(tuple(np.asarray(embeddings[row], dtype=float))
+                           if embeddings is not None else None),
+            ))
+        return results

@@ -1,0 +1,128 @@
+"""Serving metrics: request counters, batch histogram, latency quantiles.
+
+A single :class:`ServingMetrics` instance is shared by the HTTP handler
+threads, the micro-batcher worker and the engine, so every method is
+guarded by one lock (operations are all O(1) appends/increments).
+
+Latency quantiles come from a bounded reservoir of the most recent
+request latencies; forward-pass wall time is accounted separately
+through the engine's :class:`repro.nn.profiler.Profiler` timer regions,
+which lets ``/metrics`` split queueing delay from model compute.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+
+import numpy as np
+
+__all__ = ["ServingMetrics"]
+
+_RESERVOIR = 4096
+
+
+class ServingMetrics:
+    """Thread-safe counters + histograms behind ``/metrics``."""
+
+    def __init__(self, reservoir: int = _RESERVOIR):
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.sessions_total = 0
+        self.errors_total: collections.Counter = collections.Counter()
+        # batch size -> number of batches scored at that size
+        self.batch_sizes: collections.Counter = collections.Counter()
+        self.batch_seconds_total = 0.0
+        self._latencies: collections.deque = collections.deque(
+            maxlen=reservoir)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_request(self, latency_s: float, sessions: int = 1,
+                       error: str | None = None) -> None:
+        with self._lock:
+            self.requests_total += 1
+            if error is not None:
+                self.errors_total[error] += 1
+            else:
+                self.sessions_total += sessions
+            self._latencies.append(latency_s)
+
+    def record_batch(self, size: int, seconds: float) -> None:
+        with self._lock:
+            self.batch_sizes[size] += 1
+            self.batch_seconds_total += seconds
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def latency_quantiles(self) -> dict[str, float]:
+        with self._lock:
+            sample = np.array(self._latencies, dtype=np.float64)
+        if sample.size == 0:
+            return {"p50": 0.0, "p99": 0.0, "mean": 0.0}
+        return {
+            "p50": float(np.quantile(sample, 0.50)),
+            "p99": float(np.quantile(sample, 0.99)),
+            "mean": float(sample.mean()),
+        }
+
+    def snapshot(self, regions: dict[str, float] | None = None) -> dict:
+        """One coherent dict of everything (the JSON view)."""
+        quantiles = self.latency_quantiles()
+        with self._lock:
+            mean_batch = (
+                sum(size * n for size, n in self.batch_sizes.items())
+                / max(sum(self.batch_sizes.values()), 1)
+            )
+            snap = {
+                "requests_total": self.requests_total,
+                "sessions_total": self.sessions_total,
+                "errors_total": dict(self.errors_total),
+                "batch_size_histogram": {
+                    str(size): n
+                    for size, n in sorted(self.batch_sizes.items())
+                },
+                "batches_total": sum(self.batch_sizes.values()),
+                "mean_batch_size": mean_batch,
+                "batch_seconds_total": self.batch_seconds_total,
+                "latency_seconds": quantiles,
+            }
+        if regions:
+            snap["profile_regions_seconds"] = dict(regions)
+        return snap
+
+    def render_prometheus(self,
+                          regions: dict[str, float] | None = None) -> str:
+        """Text exposition (Prometheus-style) for scraping."""
+        snap = self.snapshot(regions)
+        lines = [
+            "# TYPE repro_serve_requests_total counter",
+            f"repro_serve_requests_total {snap['requests_total']}",
+            "# TYPE repro_serve_sessions_total counter",
+            f"repro_serve_sessions_total {snap['sessions_total']}",
+            "# TYPE repro_serve_errors_total counter",
+        ]
+        for code, n in sorted(snap["errors_total"].items()):
+            lines.append(f'repro_serve_errors_total{{code="{code}"}} {n}')
+        lines.append("# TYPE repro_serve_batch_size histogram")
+        cumulative = 0
+        for size, n in snap["batch_size_histogram"].items():
+            cumulative += n
+            lines.append(
+                f'repro_serve_batch_size_bucket{{le="{size}"}} {cumulative}')
+        lines.append(f"repro_serve_batch_size_count {snap['batches_total']}")
+        lines.append("# TYPE repro_serve_batch_seconds_total counter")
+        lines.append(
+            f"repro_serve_batch_seconds_total {snap['batch_seconds_total']:.6f}")
+        lines.append("# TYPE repro_serve_latency_seconds summary")
+        for q, key in (("0.5", "p50"), ("0.99", "p99")):
+            lines.append(
+                f'repro_serve_latency_seconds{{quantile="{q}"}} '
+                f"{snap['latency_seconds'][key]:.6f}")
+        for name, seconds in sorted((regions or {}).items()):
+            lines.append(
+                f'repro_serve_profile_region_seconds{{region="{name}"}} '
+                f"{seconds:.6f}")
+        return "\n".join(lines) + "\n"

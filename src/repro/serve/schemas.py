@@ -1,0 +1,139 @@
+"""Request/response schemas for the serving layer.
+
+Everything crossing the service boundary is validated here, before it
+can reach a model batch: a malformed session must produce a structured
+:class:`RequestError` (surfaced as an HTTP status + JSON body), never an
+exception inside the scoring loop where it would take down a whole
+micro-batch of innocent co-batched requests.
+
+Wire format for one session::
+
+    {"activities": ["login", "email", ...], "session_id": "optional"}
+
+Activities may be vocabulary token strings or integer activity ids
+(mixing is allowed).  ``POST /score`` accepts either a single session
+object or ``{"sessions": [...]}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+__all__ = ["RequestError", "RawSession", "ScoreResult", "parse_session",
+           "parse_score_request", "MAX_SESSIONS_PER_REQUEST",
+           "MAX_ACTIVITIES_PER_SESSION"]
+
+# Request-shape bounds: a single request may not smuggle in an unbounded
+# amount of work (the queue bounds *count* of sessions, these bound the
+# size of each).
+MAX_SESSIONS_PER_REQUEST = 256
+MAX_ACTIVITIES_PER_SESSION = 10_000
+
+
+class RequestError(Exception):
+    """A client-visible, structured request failure.
+
+    ``code`` is a stable machine-readable identifier, ``status`` the
+    HTTP status the server should answer with.
+    """
+
+    def __init__(self, code: str, message: str, status: int = 400):
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.status = status
+
+    def to_dict(self) -> dict[str, str]:
+        return {"error": self.code, "message": self.message}
+
+
+@dataclasses.dataclass(frozen=True)
+class RawSession:
+    """A validated-but-not-yet-encoded incoming session."""
+
+    activities: tuple
+    session_id: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ScoreResult:
+    """The scoring outcome for one session."""
+
+    session_id: str
+    label: int
+    score: float
+    probs: tuple[float, float]
+    oov_count: int = 0
+    embedding: tuple | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "session_id": self.session_id,
+            "label": int(self.label),
+            "score": float(self.score),
+            "probs": [float(p) for p in self.probs],
+            "oov_count": int(self.oov_count),
+        }
+        if self.embedding is not None:
+            out["embedding"] = [float(v) for v in self.embedding]
+        return out
+
+
+def parse_session(payload: Any) -> RawSession:
+    """Validate one raw session object; raises :class:`RequestError`."""
+    if not isinstance(payload, dict):
+        raise RequestError("invalid_session",
+                           "a session must be a JSON object")
+    unknown = set(payload) - {"activities", "session_id"}
+    if unknown:
+        raise RequestError("invalid_session",
+                           f"unknown session field(s): {sorted(unknown)}")
+    activities = payload.get("activities")
+    if not isinstance(activities, (list, tuple)):
+        raise RequestError("invalid_session",
+                           "'activities' must be a list of tokens or ids")
+    if not activities:
+        raise RequestError("empty_session",
+                           "a session must contain at least one activity")
+    if len(activities) > MAX_ACTIVITIES_PER_SESSION:
+        raise RequestError(
+            "session_too_long",
+            f"session has {len(activities)} activities "
+            f"(limit {MAX_ACTIVITIES_PER_SESSION})",
+            status=413,
+        )
+    for item in activities:
+        # bool is an int subclass; reject it explicitly.
+        if isinstance(item, bool) or not isinstance(item, (str, int)):
+            raise RequestError(
+                "invalid_activity",
+                f"activities must be strings or integers, got "
+                f"{type(item).__name__}",
+            )
+    session_id = payload.get("session_id", "")
+    if not isinstance(session_id, str):
+        raise RequestError("invalid_session", "'session_id' must be a string")
+    return RawSession(activities=tuple(activities), session_id=session_id)
+
+
+def parse_score_request(payload: Any) -> tuple[list[RawSession], bool]:
+    """Parse a ``/score`` body: one session or ``{"sessions": [...]}``.
+
+    Returns ``(sessions, is_batch)`` so the responder can mirror the
+    request shape.
+    """
+    if isinstance(payload, dict) and "sessions" in payload:
+        sessions = payload["sessions"]
+        if not isinstance(sessions, list) or not sessions:
+            raise RequestError("invalid_request",
+                               "'sessions' must be a non-empty list")
+        if len(sessions) > MAX_SESSIONS_PER_REQUEST:
+            raise RequestError(
+                "too_many_sessions",
+                f"request carries {len(sessions)} sessions "
+                f"(limit {MAX_SESSIONS_PER_REQUEST})",
+                status=413,
+            )
+        return [parse_session(s) for s in sessions], True
+    return [parse_session(payload)], False

@@ -1,0 +1,198 @@
+"""Stdlib HTTP front end for the inference engine.
+
+``python -m repro serve --model model.npz`` starts a
+:class:`ThreadingHTTPServer` where each connection thread parses the
+request, submits its sessions to the shared
+:class:`~repro.serve.engine.InferenceEngine`, and blocks on the
+futures — the micro-batcher turns that blocking concurrency into padded
+model batches.
+
+Endpoints
+---------
+``POST /score``
+    Body: one session object or ``{"sessions": [...]}`` (see
+    :mod:`repro.serve.schemas`).  Responds with the matching shape:
+    a result object, or ``{"results": [...]}``.
+``GET /healthz``
+    Liveness + queue depth.
+``GET /metrics``
+    Prometheus-style text exposition (``?format=json`` for the JSON
+    snapshot).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlparse
+
+from .engine import InferenceEngine
+from .schemas import RequestError, parse_score_request
+
+__all__ = ["ServingServer", "run_server"]
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+_SCORE_TIMEOUT_S = 30.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One instance per request; engine/metrics live on the server."""
+
+    server: "ServingServer"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path == "/healthz":
+            self._respond(200, {
+                "status": "ok",
+                "queue_depth": self.server.engine.queue_depth,
+                "model": self.server.model_name,
+            })
+        elif path == "/metrics":
+            engine = self.server.engine
+            if "format=json" in (urlparse(self.path).query or ""):
+                self._respond(
+                    200, engine.metrics.snapshot(engine.profiler.regions))
+            else:
+                body = engine.metrics.render_prometheus(
+                    engine.profiler.regions).encode("utf-8")
+                self._send_bytes(200, body, "text/plain; version=0.0.4")
+        else:
+            self._respond(404, {"error": "not_found",
+                                "message": f"no route for {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path
+        if path != "/score":
+            self._respond(404, {"error": "not_found",
+                                "message": f"no route for {path}"})
+            return
+        engine = self.server.engine
+        start = time.perf_counter()
+        try:
+            payload = self._read_json()
+            sessions, is_batch = parse_score_request(payload)
+            results = engine.score_many(sessions,
+                                        timeout=self.server.score_timeout)
+        except RequestError as exc:
+            engine.metrics.record_request(time.perf_counter() - start,
+                                          error=exc.code)
+            self._respond(exc.status, exc.to_dict())
+            return
+        except FutureTimeoutError:
+            engine.metrics.record_request(time.perf_counter() - start,
+                                          error="timeout")
+            self._respond(504, {"error": "timeout",
+                                "message": "scoring timed out"})
+            return
+        except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
+            engine.metrics.record_request(time.perf_counter() - start,
+                                          error="internal")
+            self._respond(500, {"error": "internal", "message": str(exc)})
+            return
+        engine.metrics.record_request(time.perf_counter() - start,
+                                      sessions=len(results))
+        if is_batch:
+            self._respond(200, {"results": [r.to_dict() for r in results]})
+        else:
+            self._respond(200, results[0].to_dict())
+
+    # ------------------------------------------------------------------
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise RequestError("empty_body", "request body required")
+        if length > _MAX_BODY_BYTES:
+            raise RequestError("body_too_large",
+                               f"body exceeds {_MAX_BODY_BYTES} bytes",
+                               status=413)
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            raise RequestError("invalid_json",
+                               f"body is not valid JSON: {exc}") from None
+
+    def _respond(self, status: int, payload: dict) -> None:
+        self._send_bytes(status, json.dumps(payload).encode("utf-8"),
+                         "application/json")
+
+    def _send_bytes(self, status: int, body: bytes,
+                    content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+
+class ServingServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one inference engine.
+
+    ``port=0`` binds an ephemeral port (tests); read ``.port`` after
+    construction.  Use as a context manager, or call
+    :meth:`start_background` / :meth:`shutdown` explicitly.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
+                 port: int = 8000, model_name: str = "clfd",
+                 score_timeout: float = _SCORE_TIMEOUT_S,
+                 verbose: bool = False):
+        super().__init__((host, port), _Handler)
+        self.engine = engine
+        self.model_name = model_name
+        self.score_timeout = score_timeout
+        self.verbose = verbose
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def start_background(self) -> None:
+        """Serve on a daemon thread (returns immediately)."""
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-serve-http", daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+        super().__exit__(*exc)
+
+
+def run_server(model_path: str, host: str = "127.0.0.1", port: int = 8000,
+               max_batch: int = 32, max_wait_ms: float = 2.0,
+               max_queue: int = 1024, verbose: bool = True) -> None:
+    """Blocking entry point behind ``python -m repro serve``."""
+    engine = InferenceEngine.from_archive(
+        model_path, max_batch=max_batch, max_wait_ms=max_wait_ms,
+        max_queue=max_queue,
+    )
+    server = ServingServer(engine, host=host, port=port,
+                           model_name=str(model_path), verbose=verbose)
+    print(f"serving {model_path} on http://{host}:{server.port} "
+          f"(max_batch={max_batch}, max_wait_ms={max_wait_ms})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+        engine.close()

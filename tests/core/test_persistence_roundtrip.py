@@ -1,0 +1,116 @@
+"""Round-trip persistence: a reloaded archive predicts identically.
+
+Covers the full model plus the ablated configurations the paper's
+ablation table exercises (corrector-only, detector-only), the
+suffix-less-path round-trip fixed alongside the serving work, and the
+atomic-save guarantee.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import load_clfd, save_clfd
+
+from .conftest import TINY
+
+
+def _fit(tiny_data, **overrides):
+    train, _ = tiny_data
+    config = CLFDConfig(**{**TINY, **overrides})
+    return CLFD(config).fit(train, rng=np.random.default_rng(3))
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_data):
+    return _fit(tiny_data)
+
+
+def _assert_same_predictions(model, restored, test):
+    labels, scores = model.predict(test)
+    labels2, scores2 = restored.predict(test)
+    np.testing.assert_array_equal(labels, labels2)
+    np.testing.assert_allclose(scores, scores2, rtol=0, atol=0)
+    np.testing.assert_allclose(model.predict_proba(test),
+                               restored.predict_proba(test),
+                               rtol=0, atol=0)
+
+
+def test_roundtrip_full_model(fitted, tiny_data, tmp_path):
+    _, test = tiny_data
+    restored = load_clfd(save_clfd(fitted, tmp_path / "full.npz"))
+    _assert_same_predictions(fitted, restored, test)
+    assert restored.config == fitted.config
+    assert restored.vectorizer.max_len == fitted.vectorizer.max_len
+
+
+@pytest.mark.parametrize("overrides", [
+    {"use_label_corrector": False},
+    {"use_fraud_detector": False},
+], ids=["detector-only", "corrector-only"])
+def test_roundtrip_ablated_configs(tiny_data, tmp_path, overrides):
+    _, test = tiny_data
+    model = _fit(tiny_data, **overrides)
+    restored = load_clfd(save_clfd(model, tmp_path / "ablated.npz"))
+    _assert_same_predictions(model, restored, test)
+
+
+def test_roundtrip_preserves_vocab(fitted, tiny_data, tmp_path):
+    train, _ = tiny_data
+    restored = load_clfd(save_clfd(fitted, tmp_path / "vocab.npz"))
+    assert restored.vectorizer.vocab is not None
+    assert restored.vectorizer.vocab.tokens() == train.vocab.tokens()
+
+
+def test_suffixless_path_roundtrip(fitted, tiny_data, tmp_path):
+    """save(m, "model") / load("model") must agree on the real filename."""
+    _, test = tiny_data
+    written = save_clfd(fitted, tmp_path / "model")
+    assert written.name == "model.npz"
+    assert written.exists()
+    restored = load_clfd(tmp_path / "model")
+    _assert_same_predictions(fitted, restored, test)
+
+
+def test_save_overwrites_atomically(fitted, tmp_path):
+    """A second save replaces the archive and leaves no temp litter."""
+    path = save_clfd(fitted, tmp_path / "model.npz")
+    before = path.stat().st_size
+    again = save_clfd(fitted, tmp_path / "model.npz")
+    assert again == path
+    assert path.stat().st_size == before
+    leftovers = [p for p in tmp_path.iterdir() if p.name != "model.npz"]
+    assert leftovers == []
+
+
+def test_save_failure_leaves_target_untouched(fitted, tmp_path, monkeypatch):
+    """If serialization dies mid-write, the published archive survives."""
+    path = save_clfd(fitted, tmp_path / "model.npz")
+    payload = path.read_bytes()
+
+    def boom(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np, "savez", boom)
+    with pytest.raises(OSError):
+        save_clfd(fitted, tmp_path / "model.npz")
+    assert path.read_bytes() == payload
+    assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+def test_save_rejects_unfitted_model(tmp_path):
+    with pytest.raises(ValueError):
+        save_clfd(CLFD(), tmp_path / "nope.npz")
+
+
+def test_loaded_model_serves_v2_tokens(fitted, tiny_data, tmp_path):
+    """The archive vocabulary is enough to score raw token sessions."""
+    from repro.serve import InferenceEngine
+
+    train, _ = tiny_data
+    restored = load_clfd(save_clfd(fitted, tmp_path / "serve.npz"))
+    tokens = train.vocab.decode(train.sessions[0].activities)
+    with InferenceEngine(restored, max_wait_ms=0, warmup=False) as engine:
+        result = engine.score({"activities": tokens})
+    assert result.oov_count == 0
+    assert 0.0 <= result.score <= 1.0

@@ -1,0 +1,37 @@
+"""Shared serving fixtures: one tiny fitted CLFD and its archive."""
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import load_clfd, save_clfd
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+
+SERVE_CONFIG = dict(
+    embedding_dim=12,
+    hidden_size=16,
+    batch_size=32,
+    aux_batch_size=8,
+    ssl_epochs=1,
+    supcon_epochs=2,
+    classifier_epochs=30,
+    word2vec=Word2VecConfig(dim=12, epochs=1),
+)
+
+
+@pytest.fixture(scope="session")
+def serve_split():
+    rng = np.random.default_rng(7)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def served_model(serve_split, tmp_path_factory):
+    """A fitted CLFD persisted + reloaded, as a serving process sees it."""
+    train, _ = serve_split
+    model = CLFD(CLFDConfig(**SERVE_CONFIG)).fit(
+        train, rng=np.random.default_rng(0))
+    path = save_clfd(model, tmp_path_factory.mktemp("serve") / "model")
+    return load_clfd(path)

@@ -1,0 +1,71 @@
+"""Request validation: every malformed shape gets a structured error."""
+
+import pytest
+
+from repro.serve import RequestError, parse_score_request, parse_session
+from repro.serve.schemas import (
+    MAX_ACTIVITIES_PER_SESSION,
+    MAX_SESSIONS_PER_REQUEST,
+)
+
+
+def _code(callable_, *args):
+    with pytest.raises(RequestError) as excinfo:
+        callable_(*args)
+    return excinfo.value.code
+
+
+def test_parse_session_accepts_tokens_ids_and_mixes():
+    raw = parse_session({"activities": ["login", 3, "email"],
+                         "session_id": "s1"})
+    assert raw.activities == ("login", 3, "email")
+    assert raw.session_id == "s1"
+
+
+def test_parse_session_defaults_session_id():
+    assert parse_session({"activities": [1]}).session_id == ""
+
+
+@pytest.mark.parametrize("payload,code", [
+    (["not", "a", "dict"], "invalid_session"),
+    ({"activities": "login"}, "invalid_session"),
+    ({"activities": []}, "empty_session"),
+    ({}, "invalid_session"),
+    ({"activities": [1], "extra": 1}, "invalid_session"),
+    ({"activities": [1.5]}, "invalid_activity"),
+    ({"activities": [True]}, "invalid_activity"),
+    ({"activities": [None]}, "invalid_activity"),
+    ({"activities": [1], "session_id": 7}, "invalid_session"),
+])
+def test_parse_session_rejects_malformed(payload, code):
+    assert _code(parse_session, payload) == code
+
+
+def test_parse_session_bounds_length():
+    too_long = {"activities": [1] * (MAX_ACTIVITIES_PER_SESSION + 1)}
+    with pytest.raises(RequestError) as excinfo:
+        parse_session(too_long)
+    assert excinfo.value.code == "session_too_long"
+    assert excinfo.value.status == 413
+
+
+def test_parse_score_request_single_vs_batch():
+    single, is_batch = parse_score_request({"activities": [1, 2]})
+    assert not is_batch and len(single) == 1
+    batch, is_batch = parse_score_request(
+        {"sessions": [{"activities": [1]}, {"activities": [2]}]})
+    assert is_batch and len(batch) == 2
+
+
+def test_parse_score_request_rejects_bad_batches():
+    assert _code(parse_score_request, {"sessions": []}) == "invalid_request"
+    assert _code(parse_score_request, {"sessions": "nope"}) == "invalid_request"
+    oversize = {"sessions": [{"activities": [1]}]
+                * (MAX_SESSIONS_PER_REQUEST + 1)}
+    assert _code(parse_score_request, oversize) == "too_many_sessions"
+
+
+def test_request_error_shape():
+    err = RequestError("some_code", "explanation", status=429)
+    assert err.to_dict() == {"error": "some_code", "message": "explanation"}
+    assert err.status == 429

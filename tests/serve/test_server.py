@@ -1,0 +1,148 @@
+"""HTTP front end: endpoints, error mapping, concurrent scoring."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import InferenceEngine, ServingServer
+
+
+@pytest.fixture(scope="module")
+def server(served_model):
+    engine = InferenceEngine(served_model, max_batch=16, max_wait_ms=2.0)
+    srv = ServingServer(engine, port=0, model_name="test-model")
+    srv.start_background()
+    yield srv
+    srv.shutdown()
+    engine.close()
+
+
+def _request(server, path, payload=None, method=None):
+    url = f"http://127.0.0.1:{server.port}{path}"
+    data = json.dumps(payload).encode() if payload is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    if data is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, resp.headers, resp.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.headers, exc.read()
+
+
+def _json(server, path, payload=None, method=None):
+    status, _, body = _request(server, path, payload, method)
+    return status, json.loads(body)
+
+
+def test_score_single_session(server):
+    status, body = _json(server, "/score",
+                         {"activities": [1, 2, 3], "session_id": "abc"})
+    assert status == 200
+    assert body["session_id"] == "abc"
+    assert body["label"] in (0, 1)
+    assert 0.0 <= body["score"] <= 1.0
+    assert len(body["probs"]) == 2
+    assert body["oov_count"] == 0
+
+
+def test_score_batch(server):
+    payload = {"sessions": [{"activities": [1, 2]},
+                            {"activities": [3, 1, 2]},
+                            {"activities": [2]}]}
+    status, body = _json(server, "/score", payload)
+    assert status == 200
+    assert len(body["results"]) == 3
+    assert all("score" in r for r in body["results"])
+
+
+def test_malformed_body_is_structured_400(server):
+    status, body = _json(server, "/score", {"activities": []})
+    assert status == 400
+    assert body["error"] == "empty_session"
+    assert "message" in body
+
+
+def test_invalid_json_is_400(server):
+    url = f"http://127.0.0.1:{server.port}/score"
+    req = urllib.request.Request(url, data=b"{nope", method="POST")
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(req, timeout=30).read()
+    assert excinfo.value.code == 400
+    assert json.loads(excinfo.value.read())["error"] == "invalid_json"
+
+
+def test_empty_body_is_400(server):
+    status, body = _json(server, "/score", method="POST")
+    assert status == 400
+    assert body["error"] == "empty_body"
+
+
+def test_healthz(server):
+    status, body = _json(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["model"] == "test-model"
+    assert body["queue_depth"] >= 0
+
+
+def test_metrics_prometheus_text(server):
+    # Generate at least one scored request first.
+    _json(server, "/score", {"activities": [1]})
+    status, headers, body = _request(server, "/metrics")
+    text = body.decode()
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    assert "repro_serve_requests_total" in text
+    assert "repro_serve_batch_size_count" in text
+    assert 'repro_serve_latency_seconds{quantile="0.99"}' in text
+    assert 'repro_serve_profile_region_seconds{region="batch_forward"}' in text
+
+
+def test_metrics_json_snapshot(server):
+    _json(server, "/score", {"activities": [1]})
+    status, body = _json(server, "/metrics?format=json")
+    assert status == 200
+    assert body["requests_total"] >= 1
+    assert body["sessions_total"] >= 1
+    assert "p50" in body["latency_seconds"]
+    assert "batch_forward" in body["profile_regions_seconds"]
+
+
+def test_unknown_route_is_404(server):
+    status, body = _json(server, "/nope")
+    assert status == 404
+    assert body["error"] == "not_found"
+    status, body = _json(server, "/nope", {"activities": [1]})
+    assert status == 404
+
+
+def test_errors_show_up_in_metrics(server):
+    _json(server, "/score", {"activities": []})
+    status, body = _json(server, "/metrics?format=json")
+    assert status == 200
+    assert body["errors_total"].get("empty_session", 0) >= 1
+
+
+def test_concurrent_requests_all_succeed(server):
+    statuses = []
+    lock = threading.Lock()
+
+    def hit(i):
+        status, body = _json(server, "/score",
+                             {"activities": [1 + (i % 3), 2],
+                              "session_id": f"c{i}"})
+        with lock:
+            statuses.append((status, body.get("session_id")))
+
+    threads = [threading.Thread(target=hit, args=(i,)) for i in range(24)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert len(statuses) == 24
+    assert all(status == 200 for status, _ in statuses)
+    assert {sid for _, sid in statuses} == {f"c{i}" for i in range(24)}

@@ -49,7 +49,7 @@ def test_train_evaluate_analyze_chain(trained):
     metrics = evaluate_detector(test.labels(), labels, scores)
     assert metrics["auc_roc"] > 50.0
 
-    features = model.fraud_detector.encode(test)
+    _, _, features = model.predict(test, return_embeddings=True)
     report = representation_report(features, test.labels())
     assert report.num_samples == len(test)
 
