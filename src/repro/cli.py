@@ -21,6 +21,7 @@ import sys
 
 import numpy as np
 
+from .parallel import DEFAULT_CACHE_DIR
 from .experiments import (
     ExperimentSettings,
     class_dependent_noise,
@@ -46,6 +47,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dataset scale factor (1.0 = paper size)")
     parser.add_argument("--seeds", type=int, default=1,
                         help="number of repeated runs per cell")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool width for grid commands "
+                             "(1 = sequential)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk run cache")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="run-cache directory (grid commands)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     t1 = sub.add_parser("table1", help="Table I: uniform-noise comparison")
@@ -115,6 +123,14 @@ def _model_list(value: str | None) -> list[str] | None:
     return value.split(",") if value else None
 
 
+def _executor_kwargs(args) -> dict:
+    """workers/cache settings shared by every grid subcommand."""
+    return {
+        "workers": args.workers,
+        "cache": None if args.no_cache else args.cache_dir,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     settings = _settings(args)
@@ -122,16 +138,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "table1":
         settings.etas = tuple(float(e) for e in args.etas.split(","))
         results = run_table1(settings, models=_model_list(args.models),
-                             verbose=True)
+                             verbose=True, **_executor_kwargs(args))
         print()
         print(format_comparison_table(results, "Table I (measured)"))
     elif args.command == "table2":
         results = run_table2(settings, models=_model_list(args.models),
-                             verbose=True)
+                             verbose=True, **_executor_kwargs(args))
         print()
         print(format_comparison_table(results, "Table II (measured)"))
     elif args.command == "table3":
-        results = run_table3(settings, verbose=True)
+        results = run_table3(settings, verbose=True,
+                             **_executor_kwargs(args))
         print()
         for dataset, per_noise in results.items():
             for noise_label, cell in per_noise.items():
@@ -140,7 +157,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "ablation":
         noise = (uniform_noise(args.eta) if args.noise == "uniform"
                  else class_dependent_noise())
-        results = run_ablation(noise, settings, verbose=True)
+        results = run_ablation(noise, settings, verbose=True,
+                               **_executor_kwargs(args))
         print()
         print(format_ablation_table(
             results, f"Ablations ({noise.label}, measured)"))

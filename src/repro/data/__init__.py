@@ -26,6 +26,7 @@ from .noise import (
 )
 from .pipeline import SessionVectorizer
 from .sessions import MALICIOUS, NORMAL, Session, SessionDataset, iter_batches
+from .split_cache import cached_splits, clear_split_cache, split_cache_info
 from .vocab import PAD_TOKEN, Vocabulary
 from .word2vec import SkipGramModel, Word2VecConfig, train_word2vec
 
@@ -35,6 +36,7 @@ __all__ = [
     "Archetype", "SplitSpec", "SessionGenerator",
     "CertLikeGenerator", "WikiLikeGenerator", "OpenStackLikeGenerator",
     "DATASET_GENERATORS", "make_dataset",
+    "cached_splits", "clear_split_cache", "split_cache_info",
     "apply_uniform_noise", "apply_class_dependent_noise",
     "apply_instance_dependent_noise",
     "invert_noisy_labels", "empirical_noise_rates",

@@ -52,6 +52,12 @@ class Session:
     def __len__(self) -> int:
         return len(self.activities)
 
+    def copy(self) -> "Session":
+        """Independent copy; mutating one side never affects the other."""
+        return Session(activities=list(self.activities), label=self.label,
+                       noisy_label=self.noisy_label,
+                       session_id=self.session_id, user=self.user)
+
 
 class SessionDataset:
     """An ordered collection of sessions sharing one vocabulary."""
@@ -143,6 +149,19 @@ class SessionDataset:
     def shuffled(self, rng: np.random.Generator) -> "SessionDataset":
         order = rng.permutation(len(self.sessions))
         return self[order]
+
+    # ------------------------------------------------------------------
+    # Copying
+    # ------------------------------------------------------------------
+    def copy(self) -> "SessionDataset":
+        """Deep copy of the sessions (vocabulary is shared, it is immutable).
+
+        Noise processes overwrite ``Session.noisy_label`` in place, so
+        cached pristine splits must hand out copies — see
+        :func:`repro.data.split_cache.cached_splits`.
+        """
+        return SessionDataset([s.copy() for s in self.sessions], self.vocab,
+                              name=self.name)
 
 
 def iter_batches(dataset: SessionDataset, batch_size: int,

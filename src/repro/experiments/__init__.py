@@ -10,6 +10,7 @@ from .report import (
 from .runner import (
     ABLATIONS,
     NoiseSpec,
+    SweepError,
     class_dependent_noise,
     estimator_registry,
     format_ablation_table,
@@ -38,7 +39,7 @@ __all__ = [
     "NoiseSpec", "uniform_noise", "class_dependent_noise",
     "estimator_registry", "run_single", "run_comparison",
     "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
-    "run_ablation", "run_latency", "ABLATIONS",
+    "run_ablation", "run_latency", "ABLATIONS", "SweepError",
     "format_comparison_table", "format_ablation_table",
     "paper_reference",
     "comparison_markdown", "ablation_markdown", "table3_markdown",

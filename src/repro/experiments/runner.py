@@ -25,9 +25,17 @@ from ..data import (
     SessionDataset,
     apply_class_dependent_noise,
     apply_uniform_noise,
+    cached_splits,
     make_dataset,
 )
 from ..metrics import MetricSummary, evaluate_detector, summarize_runs, true_rates
+from ..parallel import (
+    GridExecutor,
+    RunCache,
+    SweepError,
+    TaskSpec,
+    format_timing_summary,
+)
 from .settings import CLASS_DEPENDENT_RATES, DATASETS, ExperimentSettings
 
 __all__ = [
@@ -45,6 +53,7 @@ __all__ = [
     "run_table5",
     "run_latency",
     "ABLATIONS",
+    "SweepError",
     "format_comparison_table",
     "format_ablation_table",
 ]
@@ -53,12 +62,22 @@ METRICS = ("f1", "fpr", "auc_roc")
 
 
 class NoiseSpec:
-    """A label-noise process to apply to a training set."""
+    """A label-noise process to apply to a training set.
+
+    ``kind``/``params`` are the serialisable description used by the
+    parallel executor and the run cache; ``None`` kind marks a custom
+    process (arbitrary callable) that can only run sequentially and
+    uncached.
+    """
 
     def __init__(self, label: str,
-                 apply: Callable[[SessionDataset, np.random.Generator], None]):
+                 apply: Callable[[SessionDataset, np.random.Generator], None],
+                 kind: str | None = None,
+                 params: Sequence[float] = ()):
         self.label = label
         self._apply = apply
+        self.kind = kind
+        self.params = tuple(params)
 
     def __call__(self, dataset: SessionDataset,
                  rng: np.random.Generator) -> None:
@@ -70,7 +89,8 @@ class NoiseSpec:
 
 def uniform_noise(eta: float) -> NoiseSpec:
     return NoiseSpec(f"eta={eta}",
-                     lambda ds, rng: apply_uniform_noise(ds, eta, rng))
+                     lambda ds, rng: apply_uniform_noise(ds, eta, rng),
+                     kind="uniform", params=(eta,))
 
 
 def class_dependent_noise(eta_10: float = CLASS_DEPENDENT_RATES[0],
@@ -79,6 +99,7 @@ def class_dependent_noise(eta_10: float = CLASS_DEPENDENT_RATES[0],
     return NoiseSpec(
         f"eta10={eta_10},eta01={eta_01}",
         lambda ds, rng: apply_class_dependent_noise(ds, eta_10, eta_01, rng),
+        kind="class-dependent", params=(eta_10, eta_01),
     )
 
 
@@ -109,11 +130,36 @@ def _model_factories(settings: ExperimentSettings,
     return {name: registry[name] for name in models}
 
 
+def _estimator_specs(settings: ExperimentSettings, models: Sequence[str]
+                     ) -> dict[str, tuple[str, object]]:
+    """Map model display names to picklable ``(estimator, config)`` pairs.
+
+    These cross process boundaries and feed the run-cache key, unlike
+    the closures of :func:`estimator_registry`.
+    """
+    known: dict[str, Callable[[], tuple[str, object]]] = {
+        "CLFD": lambda: ("clfd", settings.clfd_config()),
+    }
+    for name in BASELINES:
+        known[name] = (lambda n=name: (n, settings.baseline_config()))
+    unknown = [name for name in models if name not in known]
+    if unknown:
+        raise KeyError(f"unknown model(s) {unknown!r}; "
+                       f"choose from {sorted(known)}")
+    return {name: known[name]() for name in models}
+
+
 def run_single(model_factory: Callable[[], Estimator], dataset: str,
                noise: NoiseSpec, seed: int, scale: float) -> dict[str, float]:
-    """Train one estimator on one noisy split; return test metrics."""
-    rng = np.random.default_rng(seed)
-    train, test = make_dataset(dataset, rng, scale=scale)
+    """Train one estimator on one noisy split; return test metrics.
+
+    The split comes from the per-process memoized
+    :func:`~repro.data.cached_splits` — the noise is applied to a
+    private copy with the generator stream positioned exactly as if the
+    split had just been generated, so results are bit-identical to the
+    historical regenerate-every-cell path.
+    """
+    train, test, rng = cached_splits(dataset, seed, scale)
     noise(train, rng)
     model = model_factory()
     model.fit(train, rng=np.random.default_rng(seed))
@@ -121,17 +167,101 @@ def run_single(model_factory: Callable[[], Estimator], dataset: str,
     return evaluate_detector(test.labels(), labels, scores)
 
 
+def _serializable(noises: Sequence[NoiseSpec]) -> bool:
+    return all(n.kind is not None for n in noises)
+
+
+def _execute_grid(specs: Sequence[TaskSpec], workers: int,
+                  cache: RunCache | str | None, retries: int,
+                  verbose: bool):
+    """Run a spec grid through one shared executor; fail loudly at the end.
+
+    The sweep itself is fault-isolated (every cell runs, successes are
+    cached); only after it completes does a remaining failure raise
+    :class:`SweepError`, so a re-run resumes from the cache and only
+    recomputes the failed cells.
+    """
+    executor = GridExecutor(workers=workers, cache=cache, retries=retries,
+                            progress=bool(verbose))
+    cell_results = executor.run(specs)
+    if verbose:  # pragma: no cover - console reporting
+        print(format_timing_summary(cell_results, executor.last_wall_seconds),
+              flush=True)
+    failures = [r for r in cell_results if not r.ok]
+    if failures:
+        raise SweepError(failures)
+    return cell_results
+
+
 def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
                    models: Sequence[str] | None = None,
                    datasets: Sequence[str] = DATASETS,
                    verbose: bool = False,
+                   workers: int = 1,
+                   cache: RunCache | str | None = None,
+                   retries: int = 1,
                    ) -> dict[str, dict[str, dict[str, dict[str, MetricSummary]]]]:
     """Grid of model x dataset x noise, aggregated over seeds.
+
+    Executes through the shared :class:`~repro.parallel.GridExecutor`:
+    ``workers`` fans the grid out over processes (1 = sequential, the
+    default), ``cache`` (a directory path or :class:`RunCache`) skips
+    cells already computed by a previous sweep, and a cell that still
+    fails after ``retries`` extra attempts raises :class:`SweepError`
+    once the rest of the sweep has completed.
 
     Returns ``results[model][dataset][noise.label][metric]``.
     """
     if models is None:
         models = ["CLFD"] + list(BASELINES)
+    if not _serializable(noises):
+        if workers > 1 or cache is not None:
+            raise ValueError(
+                "custom NoiseSpec objects (kind=None) cannot cross process "
+                "boundaries or be cache-keyed; run with workers=1 and "
+                "cache=None")
+        return _run_comparison_legacy(settings, noises, models, datasets,
+                                      verbose)
+    estimators = _estimator_specs(settings, models)
+    specs, meta = [], []
+    for model_name in models:
+        estimator, config = estimators[model_name]
+        for dataset in datasets:
+            for noise in noises:
+                for seed in range(settings.seeds):
+                    specs.append(TaskSpec(
+                        model=model_name, estimator=estimator, config=config,
+                        dataset=dataset, noise_kind=noise.kind,
+                        noise_params=noise.params, seed=seed,
+                        scale=settings.scale))
+                    meta.append((model_name, dataset, noise))
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+
+    grouped: dict[tuple, list[dict]] = {}
+    for (model_name, dataset, noise), cell in zip(meta, cell_results):
+        grouped.setdefault((model_name, dataset, noise.label),
+                           []).append(cell.metrics)
+    results: dict = {m: {d: {} for d in datasets} for m in models}
+    for model_name in models:
+        for dataset in datasets:
+            for noise in noises:
+                runs = grouped[(model_name, dataset, noise.label)]
+                summary = {metric: summarize_runs([r[metric] for r in runs])
+                           for metric in METRICS}
+                results[model_name][dataset][noise.label] = summary
+                if verbose:  # pragma: no cover - console reporting
+                    print(f"{model_name:10s} {dataset:14s} {noise.label:22s} "
+                          + " ".join(f"{k}={v!s}" for k, v in summary.items()),
+                          flush=True)
+    return results
+
+
+def _run_comparison_legacy(settings: ExperimentSettings,
+                           noises: Sequence[NoiseSpec],
+                           models: Sequence[str],
+                           datasets: Sequence[str],
+                           verbose: bool) -> dict:
+    """Sequential in-process grid for non-serialisable noise processes."""
     factories = _model_factories(settings, models)
     results: dict = {m: {d: {} for d in datasets} for m in models}
     for model_name, factory in factories.items():
@@ -152,47 +282,62 @@ def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
 
 def run_table1(settings: ExperimentSettings | None = None,
                models: Sequence[str] | None = None,
-               verbose: bool = False) -> dict:
+               verbose: bool = False, **executor_kwargs) -> dict:
     """Table I: uniform noise η sweep over all models and datasets."""
     settings = settings or ExperimentSettings.from_env()
     noises = [uniform_noise(eta) for eta in settings.etas]
-    return run_comparison(settings, noises, models=models, verbose=verbose)
+    return run_comparison(settings, noises, models=models, verbose=verbose,
+                          **executor_kwargs)
 
 
 def run_table2(settings: ExperimentSettings | None = None,
                models: Sequence[str] | None = None,
-               verbose: bool = False) -> dict:
+               verbose: bool = False, **executor_kwargs) -> dict:
     """Table II: class-dependent noise (η₁₀=0.3, η₀₁=0.45)."""
     settings = settings or ExperimentSettings.from_env()
     return run_comparison(settings, [class_dependent_noise()], models=models,
-                          verbose=verbose)
+                          verbose=verbose, **executor_kwargs)
 
 
 def run_table3(settings: ExperimentSettings | None = None,
-               verbose: bool = False) -> dict[str, dict[str, dict[str, MetricSummary]]]:
+               verbose: bool = False,
+               workers: int = 1,
+               cache: RunCache | str | None = None,
+               retries: int = 1,
+               ) -> dict[str, dict[str, dict[str, MetricSummary]]]:
     """Table III: label-corrector TPR/TNR on the noisy training set.
 
     Returns ``results[dataset][noise.label]["tpr"/"tnr"]``.
     """
     settings = settings or ExperimentSettings.from_env()
     noises = [uniform_noise(0.45), class_dependent_noise()]
+    config = settings.clfd_config()
+    specs, meta = [], []
+    for dataset in DATASETS:
+        for noise in noises:
+            for seed in range(settings.seeds):
+                specs.append(TaskSpec(
+                    model="CLFD", estimator="clfd", config=config,
+                    dataset=dataset, noise_kind=noise.kind,
+                    noise_params=noise.params, seed=seed,
+                    scale=settings.scale, measure="correction_rates"))
+                meta.append((dataset, noise))
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+
+    grouped: dict[tuple, dict[str, list[float]]] = {}
+    for (dataset, noise), cell in zip(meta, cell_results):
+        rates = grouped.setdefault((dataset, noise.label),
+                                   {"tpr": [], "tnr": []})
+        rates["tpr"].append(cell.metrics["tpr"])
+        rates["tnr"].append(cell.metrics["tnr"])
     results: dict = {}
     for dataset in DATASETS:
         results[dataset] = {}
         for noise in noises:
-            tprs, tnrs = [], []
-            for seed in range(settings.seeds):
-                rng = np.random.default_rng(seed)
-                train, _ = make_dataset(dataset, rng, scale=settings.scale)
-                noise(train, rng)
-                model = CLFD(settings.clfd_config())
-                model.fit(train, rng=np.random.default_rng(seed))
-                tpr, tnr = true_rates(train.labels(), model.corrected_labels)
-                tprs.append(tpr)
-                tnrs.append(tnr)
+            rates = grouped[(dataset, noise.label)]
             results[dataset][noise.label] = {
-                "tpr": summarize_runs(tprs),
-                "tnr": summarize_runs(tnrs),
+                "tpr": summarize_runs(rates["tpr"]),
+                "tnr": summarize_runs(rates["tnr"]),
             }
             if verbose:  # pragma: no cover
                 r = results[dataset][noise.label]
@@ -216,15 +361,63 @@ ABLATIONS: dict[str, dict] = {
 def run_ablation(noise: NoiseSpec, settings: ExperimentSettings | None = None,
                  variants: Sequence[str] | None = None,
                  datasets: Sequence[str] = DATASETS,
-                 verbose: bool = False) -> dict:
+                 verbose: bool = False,
+                 workers: int = 1,
+                 cache: RunCache | str | None = None,
+                 retries: int = 1) -> dict:
     """Shared engine for Tables IV and V.
 
     Returns ``results[variant][dataset][metric]``.
     """
     settings = settings or ExperimentSettings.from_env()
     variants = list(variants) if variants else list(ABLATIONS)
-    results: dict = {}
     base_config = settings.clfd_config()
+    if not _serializable([noise]):
+        if workers > 1 or cache is not None:
+            raise ValueError(
+                "custom NoiseSpec (kind=None) cannot run with workers>1 "
+                "or a run cache; use uniform_noise/class_dependent_noise")
+        return _run_ablation_legacy(noise, settings, variants, datasets,
+                                    base_config, verbose)
+
+    specs, meta = [], []
+    for variant in variants:
+        overrides = ABLATIONS[variant]
+        config = CLFDConfig(**{**base_config.__dict__, **overrides})
+        for dataset in datasets:
+            for seed in range(settings.seeds):
+                specs.append(TaskSpec(
+                    model=variant, estimator="clfd", config=config,
+                    dataset=dataset, noise_kind=noise.kind,
+                    noise_params=noise.params, seed=seed,
+                    scale=settings.scale))
+                meta.append((variant, dataset))
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+
+    grouped: dict[tuple, list[dict]] = {}
+    for (variant, dataset), cell in zip(meta, cell_results):
+        grouped.setdefault((variant, dataset), []).append(cell.metrics)
+    results: dict = {}
+    for variant in variants:
+        results[variant] = {}
+        for dataset in datasets:
+            runs = grouped[(variant, dataset)]
+            results[variant][dataset] = {
+                metric: summarize_runs([r[metric] for r in runs])
+                for metric in METRICS
+            }
+            if verbose:  # pragma: no cover
+                r = results[variant][dataset]
+                print(f"{variant:20s} {dataset:14s} "
+                      + " ".join(f"{k}={v!s}" for k, v in r.items()),
+                      flush=True)
+    return results
+
+
+def _run_ablation_legacy(noise, settings, variants, datasets, base_config,
+                         verbose) -> dict:
+    """Sequential ablation path for non-serialisable noise callables."""
+    results: dict = {}
     for variant in variants:
         overrides = ABLATIONS[variant]
         results[variant] = {}

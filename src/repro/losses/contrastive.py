@@ -24,6 +24,38 @@ __all__ = ["nt_xent_loss", "sup_con_loss"]
 
 _NEG_INF = -1e9
 
+# Per-size caches of the loss-geometry constants.  Both losses rebuild
+# the same (m, m) diagonal mask and the NT-Xent positive-index arrays
+# every call, and the losses run once per training step — for the small
+# batch sizes the paper uses, allocating and filling these dominated
+# the pure-Python side of the loss.  Entries are marked read-only so a
+# cached array can never be mutated in place by a caller.
+_DIAG_MASKS: dict[int, np.ndarray] = {}
+_NT_XENT_INDEX: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def _diag_mask(m: int) -> np.ndarray:
+    """Read-only (m, m) matrix with ``_NEG_INF`` on the diagonal."""
+    mask = _DIAG_MASKS.get(m)
+    if mask is None:
+        mask = np.full((m, m), 0.0)
+        np.fill_diagonal(mask, _NEG_INF)
+        mask.setflags(write=False)
+        _DIAG_MASKS[m] = mask
+    return mask
+
+
+def _nt_xent_index(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Read-only (rows, positives) index arrays for a 2n NT-Xent batch."""
+    pair = _NT_XENT_INDEX.get(n)
+    if pair is None:
+        rows = np.arange(2 * n)
+        positives = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
+        rows.setflags(write=False)
+        positives.setflags(write=False)
+        pair = _NT_XENT_INDEX[n] = (rows, positives)
+    return pair
+
 
 def nt_xent_loss(z_a: Tensor, z_b: Tensor, temperature: float = 1.0) -> Tensor:
     """SimCLR NT-Xent loss over two augmented views.
@@ -43,12 +75,10 @@ def nt_xent_loss(z_a: Tensor, z_b: Tensor, temperature: float = 1.0) -> Tensor:
     z = concat([z_a, z_b], axis=0)                       # (2n, d)
     sims = cosine_similarity_matrix(z) * (1.0 / temperature)
     # Mask self-similarity out of the denominator.
-    mask = np.full((2 * n, 2 * n), 0.0)
-    np.fill_diagonal(mask, _NEG_INF)
-    logits = sims + Tensor(mask)
+    logits = sims + Tensor(_diag_mask(2 * n))
     log_denom = _row_logsumexp(logits)
-    positives = np.concatenate([np.arange(n, 2 * n), np.arange(0, n)])
-    pos_logit = logits[np.arange(2 * n), positives]
+    rows, positives = _nt_xent_index(n)
+    pos_logit = logits[rows, positives]
     return (log_denom - pos_logit).mean()
 
 
@@ -96,9 +126,7 @@ def sup_con_loss(z: Tensor, labels, temperature: float = 1.0,
             pair_weights = (pair_weights > threshold).astype(np.float64)
 
     sims = cosine_similarity_matrix(z) * (1.0 / temperature)
-    self_mask = np.full((n, n), 0.0)
-    np.fill_diagonal(self_mask, _NEG_INF)
-    logits = sims + Tensor(self_mask)
+    logits = sims + Tensor(_diag_mask(n))
     log_denom = _row_logsumexp(logits)                    # (n,)
 
     same_label = (labels[:, None] == labels[None, :]).astype(np.float64)

@@ -7,6 +7,13 @@ epoch) can be timed with :meth:`Profiler.timer`.  The hooks cost a
 single ``is not None`` check per node when disabled, so they are safe to
 leave compiled into the hot path.
 
+Activation is thread-safe and re-entrant: any number of ``profile()``
+contexts may be live at once — nested in one thread, or concurrently
+from several (e.g. the serving layer profiling a request while a
+benchmark profiles an epoch).  Every live profiler sees every event;
+the tensor-side hook is installed when the first activates and removed
+when the last exits, in whichever order the contexts close.
+
 Usage::
 
     with profile() as prof:
@@ -18,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -51,6 +59,8 @@ class Profiler:
 
     ops: dict[str, OpStats] = field(default_factory=dict)
     regions: dict[str, float] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def _stats(self, backward_fn) -> OpStats:
         name = _op_name(backward_fn)
@@ -61,12 +71,14 @@ class Profiler:
 
     # Hook points called from repro.nn.tensor -------------------------
     def record_node(self, backward_fn) -> None:
-        self._stats(backward_fn).nodes += 1
+        with self._lock:
+            self._stats(backward_fn).nodes += 1
 
     def record_backward(self, backward_fn, seconds: float) -> None:
-        stats = self._stats(backward_fn)
-        stats.backward_calls += 1
-        stats.backward_seconds += seconds
+        with self._lock:
+            stats = self._stats(backward_fn)
+            stats.backward_calls += 1
+            stats.backward_seconds += seconds
 
     # Aggregates ------------------------------------------------------
     @property
@@ -84,8 +96,9 @@ class Profiler:
         try:
             yield
         finally:
-            self.regions[name] = (self.regions.get(name, 0.0)
-                                  + time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.regions[name] = self.regions.get(name, 0.0) + elapsed
 
     def summary(self, top: int = 15) -> str:
         """Human-readable table sorted by backward time."""
@@ -104,12 +117,61 @@ class Profiler:
         return "\n".join(lines)
 
 
+# ----------------------------------------------------------------------
+# Hook installation
+# ----------------------------------------------------------------------
+# Multiple profilers can be live simultaneously (nested contexts in one
+# thread, or concurrent contexts across threads).  A single dispatcher
+# is installed as the tensor-side hook while at least one is active and
+# fans every event out to all of them; ``_INSTALL_LOCK`` serialises the
+# activate/deactivate transitions so racing contexts can never strand a
+# hook (or drop one another's).
+_INSTALL_LOCK = threading.Lock()
+_ACTIVE: tuple[Profiler, ...] = ()
+
+
+class _Dispatcher:
+    """Fans tensor-hook events out to every active profiler."""
+
+    def record_node(self, backward_fn) -> None:
+        for prof in _ACTIVE:
+            prof.record_node(backward_fn)
+
+    def record_backward(self, backward_fn, seconds: float) -> None:
+        for prof in _ACTIVE:
+            prof.record_backward(backward_fn, seconds)
+
+
+_DISPATCHER = _Dispatcher()
+
+
+def _activate(prof: Profiler) -> None:
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = _ACTIVE + (prof,)
+        if len(_ACTIVE) == 1:
+            _tensor._set_profile_hook(_DISPATCHER)
+
+
+def _deactivate(prof: Profiler) -> None:
+    global _ACTIVE
+    with _INSTALL_LOCK:
+        _ACTIVE = tuple(p for p in _ACTIVE if p is not prof)
+        if not _ACTIVE:
+            _tensor._set_profile_hook(None)
+
+
 @contextlib.contextmanager
 def profile():
-    """Context manager: activate profiling, yield the :class:`Profiler`."""
+    """Context manager: activate profiling, yield the :class:`Profiler`.
+
+    Safe to nest and safe to run concurrently from multiple threads:
+    every live profiler records every event, and the tensor hook stays
+    installed until the last context exits.
+    """
     prof = Profiler()
-    _tensor._set_profile_hook(prof)
+    _activate(prof)
     try:
         yield prof
     finally:
-        _tensor._set_profile_hook(None)
+        _deactivate(prof)

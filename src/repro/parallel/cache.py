@@ -1,0 +1,81 @@
+"""Content-keyed on-disk cache of completed grid cells.
+
+One JSON file per cell, named by the :func:`~repro.parallel.tasks.task_key`
+content hash, so interrupted sweeps resume where they stopped and a
+repeated table invocation (same configs, same seeds, same scale) skips
+straight to aggregation.  Only *successful* runs are stored — failures
+are always retried by the next sweep.
+
+Writes are atomic (temp file + ``os.replace``), so a sweep killed
+mid-write never leaves a truncated record; corrupt or unreadable files
+are treated as misses and overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+__all__ = ["RunCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+class RunCache:
+    """Directory of ``<key>.json`` run records."""
+
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> pathlib.Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Return the stored record, or None on miss/corruption."""
+        try:
+            with open(self.path(key)) as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return record if isinstance(record, dict) else None
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist a record under ``key``."""
+        payload = dict(record)
+        payload.setdefault("key", key)
+        payload.setdefault("created", time.time())
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RunCache({str(self.root)!r}, {len(self)} records)"

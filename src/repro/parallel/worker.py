@@ -1,0 +1,85 @@
+"""Per-process execution of one grid cell.
+
+:func:`execute_task` is the function the pool runs: it rebuilds the
+cell from its :class:`~repro.parallel.tasks.TaskSpec` alone (estimator
+from the registry, split from the per-process memoized
+:func:`~repro.data.split_cache.cached_splits`, noise from the spec's
+serialised parameters) and returns a plain ``dict`` payload that
+pickles cheaply back to the coordinator.
+
+Determinism: the split generator, the noise draw and the training rng
+all derive from ``spec.seed`` exactly the way the sequential runner
+derives them, so a cell computes bit-identical metrics whether it runs
+in-process, in a pool worker, or on a different day from the run cache.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from ..metrics import evaluate_detector, true_rates
+from .tasks import TaskSpec
+
+__all__ = ["execute_task", "build_estimator"]
+
+
+def build_estimator(spec: TaskSpec):
+    """Instantiate the spec's estimator from its carried config."""
+    if spec.estimator == "clfd":
+        from ..core import CLFD
+
+        return CLFD(spec.config)
+    from ..baselines import BASELINES
+
+    try:
+        cls = BASELINES[spec.estimator]
+    except KeyError:
+        raise KeyError(f"unknown estimator {spec.estimator!r}; choose "
+                       f"'clfd' or one of {sorted(BASELINES)}") from None
+    return cls(spec.config)
+
+
+def _hit_failpoint(spec: TaskSpec, attempt: int) -> None:
+    """Honour the spec's fault-injection hook (tests only)."""
+    point = spec.failpoint
+    if not point:
+        return
+    if point == "raise":
+        raise RuntimeError(f"injected failure for {spec.describe()}")
+    if point.startswith("flaky:"):
+        if attempt < int(point.split(":", 1)[1]):
+            raise RuntimeError(
+                f"injected flaky failure (attempt {attempt}) "
+                f"for {spec.describe()}")
+        return
+    if point == "crash":  # pragma: no cover - kills the process
+        os._exit(13)
+    raise ValueError(f"unknown failpoint {point!r}")
+
+
+def execute_task(spec: TaskSpec, attempt: int = 0) -> dict:
+    """Run one cell; returns ``{"metrics": ..., "seconds": ...}``.
+
+    Raises whatever the underlying training raises — fault isolation
+    (retry, structured failure records) is the executor's job.
+    """
+    _hit_failpoint(spec, attempt)
+    from ..data.split_cache import cached_splits
+
+    start = time.perf_counter()
+    train, test, rng = cached_splits(spec.dataset, spec.seed, spec.scale)
+    spec.apply_noise(train, rng)
+    model = build_estimator(spec)
+    model.fit(train, rng=np.random.default_rng(spec.seed))
+    if spec.measure == "correction_rates":
+        tpr, tnr = true_rates(train.labels(), model.corrected_labels)
+        metrics = {"tpr": float(tpr), "tnr": float(tnr)}
+    else:
+        labels, scores = model.predict(test)
+        metrics = {k: float(v)
+                   for k, v in evaluate_detector(test.labels(), labels,
+                                                 scores).items()}
+    return {"metrics": metrics, "seconds": time.perf_counter() - start}

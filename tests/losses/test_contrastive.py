@@ -185,3 +185,34 @@ def test_sup_con_training_clusters_classes(rng):
         loss.backward()
         opt.step()
     assert intra_vs_inter() > before
+
+
+# ----------------------------------------------------------------------
+# Cached loss-geometry constants
+# ----------------------------------------------------------------------
+def test_diag_mask_cache_reuses_and_protects_arrays(rng):
+    from repro.losses import contrastive as mod
+
+    mod._DIAG_MASKS.clear()
+    mod._NT_XENT_INDEX.clear()
+    base = rng.normal(size=(8, 6))
+    first = nt_xent_loss(Tensor(base), Tensor(base * 2.0)).item()
+    assert set(mod._DIAG_MASKS) == {16}
+    mask = mod._DIAG_MASKS[16]
+    assert mod._diag_mask(16) is mask  # second call reuses
+    with pytest.raises(ValueError):
+        mask[0, 0] = 1.0  # cached arrays are immutable
+    second = nt_xent_loss(Tensor(base), Tensor(base * 2.0)).item()
+    assert second == first  # reuse is bit-identical
+
+
+def test_sup_con_shares_diag_mask_cache(rng):
+    from repro.losses import contrastive as mod
+
+    mod._DIAG_MASKS.clear()
+    z = Tensor(rng.normal(size=(6, 4)))
+    labels = np.array([0, 0, 1, 1, 0, 1])
+    a = sup_con_loss(z, labels, variant="unweighted").item()
+    assert 6 in mod._DIAG_MASKS
+    b = sup_con_loss(z, labels, variant="unweighted").item()
+    assert a == b

@@ -1,0 +1,78 @@
+"""Thread-safety and re-entrancy of the profiler hook installation.
+
+Regression tests: the old ``profile()`` unconditionally cleared the
+tensor hook on exit, so an inner context exiting silently disabled the
+outer profiler, and two threads' contexts could strand or drop each
+other's hooks.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import nn
+from repro.nn import tensor as _tensor
+
+
+def _one_backward():
+    x = nn.Tensor(np.ones((3, 3)), requires_grad=True)
+    (x * 2.0).sum().backward()
+
+
+def test_nested_profile_outer_keeps_recording():
+    with nn.profile() as outer:
+        with nn.profile() as inner:
+            _one_backward()
+        inner_nodes = inner.total_nodes
+        assert inner_nodes > 0
+        # The inner exit must not disable the outer profiler.
+        _one_backward()
+    assert outer.total_nodes > inner_nodes
+    assert _tensor._PROFILE_HOOK is None
+
+
+def test_nested_profilers_both_see_events():
+    with nn.profile() as outer:
+        with nn.profile() as inner:
+            _one_backward()
+    assert outer.total_nodes == inner.total_nodes > 0
+    assert outer.total_backward_seconds > 0
+    assert inner.total_backward_seconds > 0
+
+
+def test_concurrent_profilers_from_threads():
+    started = threading.Barrier(2)
+    profilers = {}
+    errors = []
+
+    def worker(name):
+        try:
+            with nn.profile() as prof:
+                started.wait(timeout=5)
+                for _ in range(5):
+                    _one_backward()
+                profilers[name] = prof
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors
+    # Both profilers recorded (each sees its own and the other thread's
+    # events while both are live), and the hook is fully uninstalled.
+    for prof in profilers.values():
+        assert prof.total_nodes > 0
+        assert prof.total_backward_seconds > 0
+    assert _tensor._PROFILE_HOOK is None
+
+
+def test_exception_inside_context_still_uninstalls():
+    try:
+        with nn.profile():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert _tensor._PROFILE_HOOK is None

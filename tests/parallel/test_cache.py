@@ -1,0 +1,48 @@
+"""RunCache: roundtrip, restart survival, corruption tolerance."""
+
+from repro.parallel import RunCache
+
+
+def test_roundtrip(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    assert cache.get("abc") is None
+    cache.put("abc", {"metrics": {"f1": 1.0}, "seconds": 0.5})
+    record = cache.get("abc")
+    assert record["metrics"] == {"f1": 1.0}
+    assert "created" in record and record["key"] == "abc"
+    assert "abc" in cache and len(cache) == 1
+
+
+def test_survives_process_restart(tmp_path):
+    # A fresh RunCache over the same directory — the in-memory object
+    # holds no state, so this is exactly what a new process sees.
+    RunCache(tmp_path / "cache").put("k", {"metrics": {"f1": 2.0}})
+    reopened = RunCache(tmp_path / "cache")
+    assert reopened.get("k")["metrics"] == {"f1": 2.0}
+
+
+def test_corrupt_record_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cache.put("k", {"metrics": {}})
+    cache.path("k").write_text("{ not json")
+    assert cache.get("k") is None
+    cache.path("k").write_text("[1, 2]")  # valid JSON, wrong shape
+    assert cache.get("k") is None
+
+
+def test_put_overwrites_atomically(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    cache.put("k", {"metrics": {"f1": 1.0}})
+    cache.put("k", {"metrics": {"f1": 9.0}})
+    assert cache.get("k")["metrics"] == {"f1": 9.0}
+    assert len(cache) == 1
+    # No stray temp files left behind.
+    assert list(cache.root.glob("*.tmp")) == []
+
+
+def test_clear(tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    for i in range(3):
+        cache.put(f"k{i}", {"metrics": {}})
+    assert cache.clear() == 3
+    assert len(cache) == 0
