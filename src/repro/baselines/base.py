@@ -22,10 +22,12 @@ from typing import Protocol
 import numpy as np
 
 from .. import nn
+from ..core.clfd import _restore_vectorizer, _vectorizer_phase_state
 from ..core.encoder import SessionEncoder, SoftmaxClassifier
 from ..data.pipeline import SessionVectorizer
 from ..data.sessions import SessionDataset, iter_batches
 from ..data.word2vec import Word2VecConfig
+from ..train import TrainRun
 
 __all__ = ["Estimator", "BaselineConfig", "BaselineModel",
            "EncoderClassifier"]
@@ -83,6 +85,10 @@ class BaselineModel:
     """Abstract baseline: fit on noisy labels, predict labels + scores."""
 
     name = "baseline"
+    # fit() accepts ``run=`` — the word2vec stage is a phase checkpoint
+    # for every baseline, and the sequence-LM baselines additionally
+    # resume their epoch loops through :class:`~repro.train.Trainer`.
+    supports_train_run = True
 
     def __init__(self, config: BaselineConfig | None = None):
         self.config = config or BaselineConfig()
@@ -90,12 +96,20 @@ class BaselineModel:
         self._fitted = False
 
     def fit(self, train: SessionDataset,
-            rng: np.random.Generator | None = None) -> "BaselineModel":
+            rng: np.random.Generator | None = None,
+            run: TrainRun | None = None) -> "BaselineModel":
         rng = rng or np.random.default_rng(0)
-        self.vectorizer = SessionVectorizer.fit(
-            train, config=self.config.word2vec, rng=rng
-        )
-        self._fit(train, rng)
+        run = run or TrainRun()
+        state = run.load_phase("vectorizer")
+        if state is not None:
+            self.vectorizer = _restore_vectorizer(state, rng)
+        else:
+            self.vectorizer = SessionVectorizer.fit(
+                train, config=self.config.word2vec, rng=rng
+            )
+            run.save_phase("vectorizer",
+                           _vectorizer_phase_state(self.vectorizer, rng))
+        self._fit(train, rng, run)
         self._fitted = True
         return self
 
@@ -111,7 +125,8 @@ class BaselineModel:
         return self._predict_proba(dataset)
 
     # Subclass hooks -----------------------------------------------------
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
         raise NotImplementedError
 
     def _predict(self, dataset: SessionDataset) -> tuple[np.ndarray, np.ndarray]:

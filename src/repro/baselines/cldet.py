@@ -17,6 +17,7 @@ import numpy as np
 from ..core.config import CLFDConfig
 from ..core.label_corrector import LabelCorrector
 from ..data.sessions import SessionDataset
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel
 
 __all__ = ["CLDetModel"]
@@ -34,7 +35,10 @@ class CLDetModel(BaselineModel):
         self.classifier_epochs = classifier_epochs
         self._corrector: LabelCorrector | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         clfd_config = CLFDConfig(
             embedding_dim=config.embedding_dim,

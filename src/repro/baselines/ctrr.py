@@ -16,6 +16,7 @@ import numpy as np
 from .. import nn
 from ..data.sessions import SessionDataset, iter_batches
 from ..losses import sup_con_loss
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel, EncoderClassifier
 
 __all__ = ["CTRRModel"]
@@ -35,7 +36,10 @@ class CTRRModel(BaselineModel):
         self.temperature = temperature
         self.net: EncoderClassifier | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         self.net = EncoderClassifier(config, rng)
         optimizer = nn.Adam(self.net.parameters(), lr=config.lr)

@@ -14,6 +14,7 @@ import numpy as np
 
 from .. import nn
 from ..data.sessions import NORMAL, SessionDataset, iter_batches
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel
 
 __all__ = ["DeepLogModel"]
@@ -37,7 +38,8 @@ class DeepLogModel(BaselineModel):
         self.lstm: nn.LSTM | None = None
         self.out: nn.Linear | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
         config = self.config
         vocab_size = len(train.vocab)
         self.embedding = nn.Embedding(vocab_size, config.embedding_dim, rng)
@@ -51,17 +53,19 @@ class DeepLogModel(BaselineModel):
         normal_idx = train.indices_with_noisy_label(NORMAL)
         normal = train[normal_idx]
         ids, lengths = normal.padded_ids(self.vectorizer.max_len)
-        for _ in range(config.epochs):
-            for batch in iter_batches(normal, config.batch_size, rng):
-                batch_ids = ids[batch]
-                batch_lengths = lengths[batch]
-                loss = self._lm_loss(batch_ids, batch_lengths)
-                if loss is None:
-                    continue
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(params, config.grad_clip)
-                optimizer.step()
+
+        def batches(batch_rng: np.random.Generator):
+            return iter_batches(normal, config.batch_size, batch_rng)
+
+        def step(batch: np.ndarray):
+            return self._lm_loss(ids[batch], lengths[batch])
+
+        trainer = run.trainer(
+            "lm",
+            {"embedding": self.embedding, "lstm": self.lstm,
+             "out": self.out},
+            optimizer, grad_clip=config.grad_clip)
+        trainer.fit(batches, step, epochs=config.epochs, rng=rng)
 
         # Calibrate the anomaly threshold on the training normal pool.
         train_scores = self._miss_fractions(normal)

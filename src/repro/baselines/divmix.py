@@ -22,6 +22,7 @@ import numpy as np
 from .. import nn
 from ..augment import sample_mixup
 from ..data.sessions import SessionDataset, iter_batches
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel, EncoderClassifier
 
 __all__ = ["DivMixModel", "fit_two_component_gmm"]
@@ -72,7 +73,10 @@ class DivMixModel(BaselineModel):
         self.mixup_beta = mixup_beta
         self.nets: list[EncoderClassifier] = []
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         self.nets = [EncoderClassifier(config, rng) for _ in range(2)]
         optimizers = [nn.Adam(net.parameters(), lr=config.lr)

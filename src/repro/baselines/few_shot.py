@@ -15,6 +15,7 @@ import numpy as np
 
 from .. import nn
 from ..data.sessions import SessionDataset, iter_batches
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel
 
 __all__ = ["FewShotModel"]
@@ -33,7 +34,10 @@ class FewShotModel(BaselineModel):
         self.encoder: nn.TransformerEncoder | None = None
         self.head = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         self.encoder = nn.TransformerEncoder(
             dim=config.embedding_dim, num_heads=self.num_heads,

@@ -13,6 +13,7 @@ import numpy as np
 
 from .. import nn
 from ..data.sessions import NORMAL, SessionDataset, iter_batches
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel
 
 __all__ = ["LogBertModel"]
@@ -43,7 +44,8 @@ class LogBertModel(BaselineModel):
         self.out: nn.Linear | None = None
         self.mask_id: int | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
         config = self.config
         # Reserve an extra row in the embedding for the [MASK] token.
         vocab_size = len(train.vocab)
@@ -61,15 +63,19 @@ class LogBertModel(BaselineModel):
 
         normal = train[train.indices_with_noisy_label(NORMAL)]
         ids, lengths = normal.padded_ids(self.vectorizer.max_len)
-        for _ in range(config.epochs):
-            for batch in iter_batches(normal, config.batch_size, rng):
-                loss = self._mlm_loss(ids[batch], lengths[batch], rng)
-                if loss is None:
-                    continue
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(params, config.grad_clip)
-                optimizer.step()
+
+        def batches(batch_rng: np.random.Generator):
+            return iter_batches(normal, config.batch_size, batch_rng)
+
+        def step(batch: np.ndarray):
+            return self._mlm_loss(ids[batch], lengths[batch], rng)
+
+        trainer = run.trainer(
+            "mlm",
+            {"embedding": self.embedding, "encoder": self.encoder,
+             "out": self.out},
+            optimizer, grad_clip=config.grad_clip)
+        trainer.fit(batches, step, epochs=config.epochs, rng=rng)
 
         train_scores = self._session_scores(normal)
         self.miss_threshold = float(

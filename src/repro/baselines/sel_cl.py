@@ -23,6 +23,7 @@ from .. import nn
 from ..augment import reorder_ids
 from ..data.sessions import SessionDataset, iter_batches
 from ..losses import nt_xent_loss, sup_con_loss
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel
 from ..core.encoder import SessionEncoder, SoftmaxClassifier
 from ..core.training import train_classifier_head
@@ -65,7 +66,10 @@ class SelCLModel(BaselineModel):
         self.confident_mask: np.ndarray | None = None
         self.corrected_labels: np.ndarray | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         self.encoder = SessionEncoder(config.embedding_dim,
                                       config.hidden_size, rng,

@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import nn
 from ..data.sessions import SessionDataset, iter_batches
+from ..train import TrainRun
 from .base import BaselineConfig, BaselineModel, EncoderClassifier
 
 __all__ = ["ULCModel"]
@@ -40,7 +41,10 @@ class ULCModel(BaselineModel):
         self.net: EncoderClassifier | None = None
         self.corrected_labels: np.ndarray | None = None
 
-    def _fit(self, train: SessionDataset, rng: np.random.Generator) -> None:
+    def _fit(self, train: SessionDataset, rng: np.random.Generator,
+             run: TrainRun) -> None:
+        # Multi-stage loop; only the word2vec phase checkpoints here.
+        del run
         config = self.config
         self.net = EncoderClassifier(config, rng)
         optimizer = nn.Adam(self.net.parameters(), lr=config.lr)

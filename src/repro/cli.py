@@ -109,6 +109,42 @@ def build_parser() -> argparse.ArgumentParser:
                        help="coalescing window after the first request")
     serve.add_argument("--max-queue", type=int, default=1024,
                        help="queue bound before 429 backpressure")
+
+    tr = sub.add_parser(
+        "train", help="checkpointed CLFD training with kill/resume support")
+    tr.add_argument("--dataset", default="cert",
+                    choices=("cert", "umd-wikipedia", "openstack"))
+    tr.add_argument("--eta", type=float, default=0.3,
+                    help="uniform label-noise rate")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--checkpoint-dir", required=True,
+                    help="directory for phase/epoch snapshots")
+    tr.add_argument("--resume", action="store_true",
+                    help="continue from the snapshots in --checkpoint-dir")
+    tr.add_argument("--journal", default=None,
+                    help="metrics journal path "
+                         "(default: <checkpoint-dir>/journal.jsonl)")
+    tr.add_argument("--snapshot-every", type=int, default=1,
+                    help="epoch-snapshot cadence within each phase")
+    tr.add_argument("--stop-after", default=None,
+                    help="crash drill: interrupt after this phase tag "
+                         "(or '<scope>@N' after epoch N) checkpoints")
+    tr.add_argument("--profile", action="store_true",
+                    help="attach nn.profile op breakdowns to the journal")
+    tr.add_argument("--metrics-out", default=None,
+                    help="write deterministic JSON (metrics + parameter "
+                         "fingerprint) here — bit-diffable across resumes")
+    tr.add_argument("--out", default=None,
+                    help="persist the fitted model archive here")
+
+    tl = sub.add_parser("tail", help="render a training journal")
+    tl.add_argument("--journal", required=True)
+    tl.add_argument("-n", "--lines", type=int, default=10,
+                    help="number of trailing entries to show")
+    tl.add_argument("--phase", default=None,
+                    help="only entries of this phase")
+    tl.add_argument("--follow", action="store_true",
+                    help="keep streaming new entries")
     return parser
 
 
@@ -182,6 +218,13 @@ def main(argv: list[str] | None = None) -> int:
         _run_demo(args, settings)
     elif args.command == "save":
         _run_save(args, settings)
+    elif args.command == "train":
+        return _run_train(args, settings)
+    elif args.command == "tail":
+        from .train import tail_journal
+
+        tail_journal(args.journal, n=args.lines, phase=args.phase,
+                     follow=args.follow)
     elif args.command == "serve":
         from .serve import run_server
 
@@ -222,6 +265,59 @@ def _run_demo(args, settings: ExperimentSettings) -> None:
     labels, scores = model.predict(test)
     metrics = evaluate_detector(test.labels(), labels, scores)
     print(", ".join(f"{k}={v:.1f}%" for k, v in metrics.items()))
+
+
+def _run_train(args, settings: ExperimentSettings) -> int:
+    """`repro train`: a checkpointed, resumable single CLFD run.
+
+    Exit codes: 0 on completion, 3 when a --stop-after crash drill
+    interrupted the run (checkpoints are on disk; rerun with --resume).
+    """
+    import json
+    import os
+
+    from . import CLFD
+    from .core import model_fingerprint, save_clfd
+    from .data import apply_uniform_noise, make_dataset
+    from .metrics import evaluate_detector
+    from .train import TrainRun, TrainingInterrupted, seed_everything
+
+    data_rng = seed_everything(args.seed)
+    train, test = make_dataset(args.dataset, data_rng, scale=settings.scale)
+    apply_uniform_noise(train, eta=args.eta, rng=data_rng)
+    journal = args.journal or os.path.join(args.checkpoint_dir,
+                                           "journal.jsonl")
+    run = TrainRun(args.checkpoint_dir, journal=journal,
+                   resume=args.resume, snapshot_every=args.snapshot_every,
+                   stop_after=args.stop_after, profile=args.profile)
+    mode = "resuming" if args.resume else "training"
+    print(f"{mode} CLFD on {args.dataset} (scale={settings.scale}, "
+          f"eta={args.eta}, seed={args.seed}) ...")
+    model = CLFD(settings.clfd_config())
+    try:
+        model.fit(train, rng=seed_everything(args.seed), run=run)
+    except TrainingInterrupted as exc:
+        print(f"interrupted after {exc.tag!r}; checkpoints in "
+              f"{args.checkpoint_dir} — rerun with --resume to continue")
+        return 3
+    labels, scores = model.predict(test)
+    metrics = evaluate_detector(test.labels(), labels, scores)
+    print(", ".join(f"{k}={v:.1f}%" for k, v in metrics.items()))
+    if args.metrics_out:
+        payload = {
+            "dataset": args.dataset, "eta": args.eta, "seed": args.seed,
+            "scale": settings.scale,
+            "metrics": {k: float(v) for k, v in metrics.items()},
+            "params_sha256": model_fingerprint(model),
+        }
+        with open(args.metrics_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+    if args.out:
+        path = save_clfd(model, args.out)
+        print(f"saved model to {path}")
+    return 0
 
 
 def _run_save(args, settings: ExperimentSettings) -> None:

@@ -12,7 +12,7 @@ from .noise_rates import (
     recommend_inversion,
     session_flip_posterior,
 )
-from .persistence import load_clfd, save_clfd
+from .persistence import load_clfd, model_fingerprint, save_clfd
 from .training import train_classifier_head
 
 __all__ = [
@@ -23,5 +23,5 @@ __all__ = [
     "CoTeachingCorrector", "CoTeachingCLFD",
     "NoiseRateEstimate", "estimate_noise_rates", "session_flip_posterior",
     "recommend_inversion",
-    "save_clfd", "load_clfd",
+    "save_clfd", "load_clfd", "model_fingerprint",
 ]

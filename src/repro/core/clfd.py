@@ -17,6 +17,7 @@ import numpy as np
 
 from ..data.pipeline import SessionVectorizer
 from ..data.sessions import SessionDataset
+from ..train import TrainRun, generator_state, set_generator_state
 from .config import CLFDConfig
 from .fraud_detector import FraudDetector
 from .label_corrector import LabelCorrector
@@ -24,8 +25,35 @@ from .label_corrector import LabelCorrector
 __all__ = ["CLFD"]
 
 
+def _vectorizer_phase_state(vectorizer: SessionVectorizer,
+                            rng: np.random.Generator) -> dict:
+    vocab = vectorizer.vocab
+    return {
+        "vectors": vectorizer.model.vectors,
+        "max_len": int(vectorizer.max_len),
+        "vocab": vocab.tokens() if vocab is not None else None,
+        "rng": generator_state(rng),
+    }
+
+
+def _restore_vectorizer(state: dict,
+                        rng: np.random.Generator) -> SessionVectorizer:
+    from ..data.vocab import Vocabulary
+    from ..data.word2vec import SkipGramModel
+
+    tokens = state.get("vocab")
+    vocab = Vocabulary(tokens[1:]) if tokens else None
+    set_generator_state(rng, state["rng"])
+    return SessionVectorizer(SkipGramModel(state["vectors"]),
+                             max_len=int(state["max_len"]), vocab=vocab)
+
+
 class CLFD:
     """Contrastive Learning based Fraud Detection (the paper's framework)."""
+
+    # Estimator capability flag: fit() accepts ``run=`` (checkpointed,
+    # resumable training) — inspected by the parallel grid worker.
+    supports_train_run = True
 
     def __init__(self, config: CLFDConfig | None = None):
         self.config = config or CLFDConfig()
@@ -38,23 +66,63 @@ class CLFD:
 
     # ------------------------------------------------------------------
     def fit(self, train: SessionDataset,
-            rng: np.random.Generator | None = None) -> "CLFD":
+            rng: np.random.Generator | None = None,
+            run: TrainRun | None = None) -> "CLFD":
         """Train on a noisy training set (``Session.noisy_label`` is used).
 
         Pipeline: word2vec activity embeddings → label corrector →
         corrected labels + confidences → fraud detector (Algorithm 1).
         Ablation switches in the config prune stages accordingly.
+
+        ``run`` wires the training through the checkpointed runtime
+        (:mod:`repro.train`): each pipeline stage becomes a first-class
+        phase checkpoint ("vectorizer", "corrector", "detector"), inner
+        epoch loops snapshot per epoch, and a resume run replays only
+        the missing suffix — producing bit-identical final state.
         """
         rng = rng or np.random.default_rng(0)
+        run = run or TrainRun()
         config = self.config
-        self.vectorizer = SessionVectorizer.fit(
-            train, config=config.word2vec, rng=rng
-        )
+
+        state = run.load_phase("vectorizer")
+        if state is not None:
+            self.vectorizer = _restore_vectorizer(state, rng)
+        else:
+            self.vectorizer = SessionVectorizer.fit(
+                train, config=config.word2vec, rng=rng
+            )
+            run.save_phase("vectorizer",
+                           _vectorizer_phase_state(self.vectorizer, rng))
 
         if config.use_label_corrector:
+            # Construction consumes rng draws either way, so a resumed
+            # run's generator stays aligned with the original.
             self.label_corrector = LabelCorrector(config, self.vectorizer, rng)
-            self.label_corrector.fit(train)
-            labels, confidences = self.label_corrector.correct(train)
+            state = run.load_phase("corrector")
+            if state is not None:
+                corrector = self.label_corrector
+                corrector.encoder.load_state_dict(state["encoder"])
+                corrector.classifier.load_state_dict(state["classifier"])
+                corrector.ssl_loss_history = list(state["ssl_history"])
+                corrector.classifier_loss_history = list(state["head_history"])
+                corrector._fitted = True
+                labels = state["labels"]
+                confidences = state["confidences"]
+                set_generator_state(rng, state["rng"])
+            else:
+                self.label_corrector.fit(train, run=run.scoped("corrector/"))
+                labels, confidences = self.label_corrector.correct(train)
+                run.save_phase("corrector", {
+                    "encoder": self.label_corrector.encoder.state_dict(),
+                    "classifier":
+                        self.label_corrector.classifier.state_dict(),
+                    "ssl_history": self.label_corrector.ssl_loss_history,
+                    "head_history":
+                        self.label_corrector.classifier_loss_history,
+                    "labels": labels,
+                    "confidences": confidences,
+                    "rng": generator_state(rng),
+                })
         else:
             # "w/o LC": train the detector directly on the noisy labels
             # with unit confidences (vanilla supervised contrastive loss).
@@ -66,7 +134,28 @@ class CLFD:
 
         if config.use_fraud_detector:
             self.fraud_detector = FraudDetector(config, self.vectorizer, rng)
-            self.fraud_detector.fit(train, labels, confidences)
+            state = run.load_phase("detector")
+            if state is not None:
+                detector = self.fraud_detector
+                detector.encoder.load_state_dict(state["encoder"])
+                detector.classifier.load_state_dict(state["classifier"])
+                detector.supcon_loss_history = list(state["supcon_history"])
+                detector.classifier_loss_history = list(state["head_history"])
+                detector.centroids = state["centroids"]
+                detector._fitted = True
+                set_generator_state(rng, state["rng"])
+            else:
+                self.fraud_detector.fit(train, labels, confidences,
+                                        run=run.scoped("detector/"))
+                run.save_phase("detector", {
+                    "encoder": self.fraud_detector.encoder.state_dict(),
+                    "classifier": self.fraud_detector.classifier.state_dict(),
+                    "supcon_history": self.fraud_detector.supcon_loss_history,
+                    "head_history":
+                        self.fraud_detector.classifier_loss_history,
+                    "centroids": self.fraud_detector.centroids,
+                    "rng": generator_state(rng),
+                })
         elif not config.use_label_corrector:
             raise ValueError(
                 "at least one of use_label_corrector/use_fraud_detector "

@@ -23,6 +23,8 @@ import numpy as np
 
 from ..data.pipeline import SessionVectorizer
 from ..data.sessions import SessionDataset
+from ..train import TrainRun, generator_state, set_generator_state
+from .clfd import _restore_vectorizer, _vectorizer_phase_state
 from .config import CLFDConfig
 from .fraud_detector import FraudDetector
 from .label_corrector import LabelCorrector
@@ -43,16 +45,19 @@ class CoTeachingCorrector:
         self._fitted = False
 
     def fit(self, train: SessionDataset,
-            rng: np.random.Generator | None = None) -> "CoTeachingCorrector":
+            rng: np.random.Generator | None = None,
+            run: TrainRun | None = None) -> "CoTeachingCorrector":
         """Train both correctors.
 
         ``rng`` exists for :class:`~repro.baselines.Estimator`
         conformance; the two correctors draw their seeds at construction
-        time, so it is unused here.
+        time, so it is unused here.  ``run`` scopes each corrector's
+        checkpoints under ``"<i>/"``.
         """
         del rng
-        for corrector in self.correctors:
-            corrector.fit(train)
+        run = run or TrainRun()
+        for i, corrector in enumerate(self.correctors):
+            corrector.fit(train, run=run.scoped(f"{i}/"))
         self._fitted = True
         return self
 
@@ -106,6 +111,8 @@ class CoTeachingCLFD:
     as a drop-in ablation of the future-work idea.
     """
 
+    supports_train_run = True
+
     def __init__(self, config: CLFDConfig | None = None):
         self.config = config or CLFDConfig()
         self.vectorizer: SessionVectorizer | None = None
@@ -116,18 +123,67 @@ class CoTeachingCLFD:
         self._fitted = False
 
     def fit(self, train: SessionDataset,
-            rng: np.random.Generator | None = None) -> "CoTeachingCLFD":
+            rng: np.random.Generator | None = None,
+            run: TrainRun | None = None) -> "CoTeachingCLFD":
         rng = rng or np.random.default_rng(0)
-        self.vectorizer = SessionVectorizer.fit(
-            train, config=self.config.word2vec, rng=rng
-        )
+        run = run or TrainRun()
+
+        state = run.load_phase("vectorizer")
+        if state is not None:
+            self.vectorizer = _restore_vectorizer(state, rng)
+        else:
+            self.vectorizer = SessionVectorizer.fit(
+                train, config=self.config.word2vec, rng=rng
+            )
+            run.save_phase("vectorizer",
+                           _vectorizer_phase_state(self.vectorizer, rng))
+
         self.corrector = CoTeachingCorrector(self.config, self.vectorizer, rng)
-        self.corrector.fit(train)
-        labels, confidences = self.corrector.correct(train)
+        state = run.load_phase("coteach")
+        if state is not None:
+            for corrector, saved in zip(self.corrector.correctors,
+                                        state["correctors"]):
+                corrector.encoder.load_state_dict(saved["encoder"])
+                corrector.classifier.load_state_dict(saved["classifier"])
+                corrector._fitted = True
+            self.corrector._fitted = True
+            labels = state["labels"]
+            confidences = state["confidences"]
+            set_generator_state(rng, state["rng"])
+        else:
+            self.corrector.fit(train, run=run.scoped("coteach/"))
+            labels, confidences = self.corrector.correct(train)
+            run.save_phase("coteach", {
+                "correctors": [
+                    {"encoder": corrector.encoder.state_dict(),
+                     "classifier": corrector.classifier.state_dict()}
+                    for corrector in self.corrector.correctors
+                ],
+                "labels": labels,
+                "confidences": confidences,
+                "rng": generator_state(rng),
+            })
         self.corrected_labels = labels
         self.confidences = confidences
+
         self.fraud_detector = FraudDetector(self.config, self.vectorizer, rng)
-        self.fraud_detector.fit(train, labels, confidences)
+        state = run.load_phase("detector")
+        if state is not None:
+            detector = self.fraud_detector
+            detector.encoder.load_state_dict(state["encoder"])
+            detector.classifier.load_state_dict(state["classifier"])
+            detector.centroids = state["centroids"]
+            detector._fitted = True
+            set_generator_state(rng, state["rng"])
+        else:
+            self.fraud_detector.fit(train, labels, confidences,
+                                    run=run.scoped("detector/"))
+            run.save_phase("detector", {
+                "encoder": self.fraud_detector.encoder.state_dict(),
+                "classifier": self.fraud_detector.classifier.state_dict(),
+                "centroids": self.fraud_detector.centroids,
+                "rng": generator_state(rng),
+            })
         self._fitted = True
         return self
 

@@ -20,6 +20,7 @@ from .. import nn
 from ..data.pipeline import SessionVectorizer
 from ..data.sessions import MALICIOUS, NORMAL, SessionDataset, iter_batches
 from ..losses import sup_con_loss
+from ..train import TrainRun
 from .config import CLFDConfig
 from .encoder import SessionEncoder, SoftmaxClassifier
 from .training import train_classifier_head
@@ -52,8 +53,10 @@ class FraudDetector:
     # Training
     # ------------------------------------------------------------------
     def fit(self, train: SessionDataset, corrected_labels: np.ndarray,
-            confidences: np.ndarray) -> "FraudDetector":
+            confidences: np.ndarray,
+            run: TrainRun | None = None) -> "FraudDetector":
         """Run Algorithm 1 given the label corrector's outputs."""
+        run = run or TrainRun()
         corrected_labels = np.asarray(corrected_labels, dtype=np.int64)
         confidences = np.asarray(confidences, dtype=np.float64)
         if corrected_labels.shape != (len(train),):
@@ -65,7 +68,7 @@ class FraudDetector:
         # every epoch then slices the cached array.
         self.vectorizer.precompute(train)
         try:
-            self._pretrain_supcon(train, corrected_labels, confidences)
+            self._pretrain_supcon(train, corrected_labels, confidences, run)
             features = self._encode_dataset(train)
         finally:
             self.vectorizer.evict(train)
@@ -75,47 +78,48 @@ class FraudDetector:
             beta=self.config.mixup_beta,
             epochs=self.config.classifier_epochs,
             batch_size=self.config.batch_size, lr=self.config.lr,
-            grad_clip=self.config.grad_clip,
+            grad_clip=self.config.grad_clip, run=run,
         )
         self._fit_centroids(features, corrected_labels)
         self._fitted = True
         return self
 
     def _pretrain_supcon(self, train: SessionDataset,
-                         labels: np.ndarray, confidences: np.ndarray) -> None:
+                         labels: np.ndarray, confidences: np.ndarray,
+                         run: TrainRun | None = None) -> None:
+        run = run or TrainRun()
         config = self.config
         optimizer = nn.Adam(self.encoder.parameters(), lr=config.lr)
         malicious_pool = np.flatnonzero(labels == MALICIOUS)
-        for _ in range(config.supcon_epochs):
-            epoch_losses: list[float] = []
-            for batch in iter_batches(train, config.batch_size, self._rng):
-                if batch.size < 2:
-                    continue
-                rows = batch
-                if malicious_pool.size:
-                    aux = self._rng.choice(
-                        malicious_pool,
-                        size=min(config.aux_batch_size, malicious_pool.size),
-                        replace=False,
-                    )
-                    rows = np.concatenate([batch, aux])
-                x, lengths = self.vectorizer.transform(train, indices=rows)
-                z = self.encoder(x, lengths)
-                loss = sup_con_loss(
-                    z, labels[rows], temperature=config.temperature,
-                    confidences=confidences[rows],
-                    num_anchors=batch.size,
-                    variant=config.supcon_variant,
-                    threshold=config.filter_threshold,
+
+        def batches(rng: np.random.Generator):
+            return iter_batches(train, config.batch_size, rng)
+
+        def step(batch: np.ndarray):
+            if batch.size < 2:
+                return None
+            rows = batch
+            if malicious_pool.size:
+                aux = self._rng.choice(
+                    malicious_pool,
+                    size=min(config.aux_batch_size, malicious_pool.size),
+                    replace=False,
                 )
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(self.encoder.parameters(), config.grad_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.supcon_loss_history.append(
-                float(np.mean(epoch_losses)) if epoch_losses else 0.0
+                rows = np.concatenate([batch, aux])
+            x, lengths = self.vectorizer.transform(train, indices=rows)
+            z = self.encoder(x, lengths)
+            return sup_con_loss(
+                z, labels[rows], temperature=config.temperature,
+                confidences=confidences[rows],
+                num_anchors=batch.size,
+                variant=config.supcon_variant,
+                threshold=config.filter_threshold,
             )
+
+        trainer = run.trainer("supcon", self.encoder, optimizer,
+                              grad_clip=config.grad_clip)
+        self.supcon_loss_history = trainer.fit(
+            batches, step, epochs=config.supcon_epochs, rng=self._rng)
 
     def _fit_centroids(self, features: np.ndarray,
                        labels: np.ndarray) -> None:

@@ -24,6 +24,7 @@ from ..augment import reorder_ids
 from ..data.pipeline import SessionVectorizer
 from ..data.sessions import SessionDataset, iter_batches
 from ..losses import nt_xent_loss
+from ..train import TrainRun
 from .config import CLFDConfig
 from .encoder import SessionEncoder, SoftmaxClassifier
 from .training import train_classifier_head
@@ -54,14 +55,16 @@ class LabelCorrector:
     # ------------------------------------------------------------------
     # Training
     # ------------------------------------------------------------------
-    def fit(self, train: SessionDataset) -> "LabelCorrector":
+    def fit(self, train: SessionDataset,
+            run: TrainRun | None = None) -> "LabelCorrector":
         """Run both training stages on the noisy training set."""
+        run = run or TrainRun()
         # SSL pre-training embeds augmented views on the fly, but the
         # per-batch unaugmented lookups and the post-hoc encoding pass
         # hit the cache.
         self.vectorizer.precompute(train)
         try:
-            self._pretrain_ssl(train)
+            self._pretrain_ssl(train, run)
             features = self._encode_dataset(train)
         finally:
             self.vectorizer.evict(train)
@@ -71,34 +74,33 @@ class LabelCorrector:
             beta=self.config.mixup_beta,
             epochs=self.config.classifier_epochs,
             batch_size=self.config.batch_size, lr=self.config.lr,
-            grad_clip=self.config.grad_clip,
+            grad_clip=self.config.grad_clip, run=run,
         )
         self._fitted = True
         return self
 
-    def _pretrain_ssl(self, train: SessionDataset) -> None:
+    def _pretrain_ssl(self, train: SessionDataset, run: TrainRun) -> None:
         """SimCLR pre-training with session-reordering views."""
         config = self.config
         optimizer = nn.Adam(self.encoder.parameters(), lr=config.lr)
         ids, lengths = self.vectorizer.transform_token_ids(train)
-        for _ in range(config.ssl_epochs):
-            epoch_losses: list[float] = []
-            for batch in iter_batches(train, config.batch_size, self._rng):
-                if batch.size < 2:
-                    continue
-                view_a = self._augmented_view(ids[batch], lengths[batch])
-                view_b = self._augmented_view(ids[batch], lengths[batch])
-                z_a = self.encoder(view_a, lengths[batch])
-                z_b = self.encoder(view_b, lengths[batch])
-                loss = nt_xent_loss(z_a, z_b, temperature=config.temperature)
-                optimizer.zero_grad()
-                loss.backward()
-                nn.clip_grad_norm(self.encoder.parameters(), config.grad_clip)
-                optimizer.step()
-                epoch_losses.append(loss.item())
-            self.ssl_loss_history.append(
-                float(np.mean(epoch_losses)) if epoch_losses else 0.0
-            )
+
+        def batches(rng: np.random.Generator):
+            return iter_batches(train, config.batch_size, rng)
+
+        def step(batch: np.ndarray):
+            if batch.size < 2:
+                return None
+            view_a = self._augmented_view(ids[batch], lengths[batch])
+            view_b = self._augmented_view(ids[batch], lengths[batch])
+            z_a = self.encoder(view_a, lengths[batch])
+            z_b = self.encoder(view_b, lengths[batch])
+            return nt_xent_loss(z_a, z_b, temperature=config.temperature)
+
+        trainer = run.trainer("ssl", self.encoder, optimizer,
+                              grad_clip=config.grad_clip)
+        self.ssl_loss_history = trainer.fit(
+            batches, step, epochs=config.ssl_epochs, rng=self._rng)
 
     def _augmented_view(self, ids: np.ndarray,
                         lengths: np.ndarray) -> np.ndarray:

@@ -37,7 +37,7 @@ from .config import CLFDConfig
 from .fraud_detector import FraudDetector
 from .label_corrector import LabelCorrector
 
-__all__ = ["save_clfd", "load_clfd"]
+__all__ = ["save_clfd", "load_clfd", "model_fingerprint"]
 
 _FORMAT_VERSION = 2
 _READABLE_VERSIONS = (1, 2)
@@ -114,6 +114,46 @@ def save_clfd(model: CLFD, path: str | os.PathLike) -> pathlib.Path:
         if tmp.exists():
             tmp.unlink()
     return path
+
+
+def model_fingerprint(model: CLFD) -> str:
+    """SHA-256 over every learned array of a fitted model.
+
+    Bit-identical parameters — the resumable-training acceptance
+    criterion — reduce to equal fingerprints, which the CI resume-smoke
+    job and the kill-and-resume tests diff as plain strings.
+    """
+    import hashlib
+
+    if model.vectorizer is None:
+        raise ValueError("cannot fingerprint an unfitted CLFD model")
+    arrays: dict[str, np.ndarray] = {
+        "word2vec/vectors": model.vectorizer.model.vectors,
+    }
+    corrector = getattr(model, "label_corrector", None) or getattr(
+        model, "corrector", None)
+    if corrector is not None:
+        parts = getattr(corrector, "correctors", [corrector])
+        for i, part in enumerate(parts):
+            _flatten_state(f"corrector{i}/encoder",
+                           part.encoder.state_dict(), arrays)
+            _flatten_state(f"corrector{i}/classifier",
+                           part.classifier.state_dict(), arrays)
+    if model.fraud_detector is not None:
+        _flatten_state("detector/encoder",
+                       model.fraud_detector.encoder.state_dict(), arrays)
+        _flatten_state("detector/classifier",
+                       model.fraud_detector.classifier.state_dict(), arrays)
+        if model.fraud_detector.centroids is not None:
+            arrays["detector/centroids"] = model.fraud_detector.centroids
+    digest = hashlib.sha256()
+    for key in sorted(arrays):
+        value = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(value.dtype).encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.tobytes())
+    return digest.hexdigest()
 
 
 def load_clfd(path: str | os.PathLike) -> CLFD:

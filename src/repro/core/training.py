@@ -12,6 +12,7 @@ import numpy as np
 from .. import nn
 from ..augment import sample_mixup
 from ..losses import cce_loss, gce_loss
+from ..train import TrainRun
 from .encoder import SoftmaxClassifier
 
 __all__ = ["train_classifier_head"]
@@ -22,7 +23,9 @@ def train_classifier_head(classifier: SoftmaxClassifier, features: np.ndarray,
                           loss: str = "mixup_gce", q: float = 0.7,
                           beta: float = 0.3, epochs: int = 40,
                           batch_size: int = 100, lr: float = 0.005,
-                          grad_clip: float = 5.0) -> list[float]:
+                          grad_clip: float = 5.0,
+                          run: TrainRun | None = None,
+                          scope: str = "head") -> list[float]:
     """Train a classifier head on fixed features.
 
     Parameters
@@ -33,6 +36,8 @@ def train_classifier_head(classifier: SoftmaxClassifier, features: np.ndarray,
         for the detector).
     loss: "mixup_gce" (Eq. 2–3), "gce" (Eq. 1) or "cce" — the latter two
         implement the "w/o mixup-GCE" and "w/o GCE" ablations.
+    run/scope: checkpoint + journal wiring; the default inert run keeps
+        this the plain in-memory loop.
 
     Returns the per-epoch mean training loss (useful for tests and
     debugging).
@@ -46,32 +51,28 @@ def train_classifier_head(classifier: SoftmaxClassifier, features: np.ndarray,
 
     optimizer = nn.Adam(classifier.parameters(), lr=lr)
     onehot = nn.one_hot(labels, 2)
-    history: list[float] = []
 
-    for _ in range(epochs):
-        order = rng.permutation(n)
-        epoch_losses: list[float] = []
+    def batches(batch_rng: np.random.Generator):
+        order = batch_rng.permutation(n)
         for start in range(0, n, batch_size):
-            batch = order[start:start + batch_size]
-            if batch.size < 2:
-                continue
-            v = nn.Tensor(features[batch])
-            if loss == "mixup_gce":
-                mixup = sample_mixup(labels[batch], rng, beta=beta)
-                lam = nn.Tensor(mixup.lam[:, None])
-                v = v * lam + v[mixup.partner] * (1.0 - lam)
-                targets = mixup.mixed_targets
-            else:
-                targets = onehot[batch]
-            probs = classifier.probs(v)
-            if loss == "cce":
-                batch_loss = cce_loss(probs, targets)
-            else:
-                batch_loss = gce_loss(probs, targets, q=q)
-            optimizer.zero_grad()
-            batch_loss.backward()
-            nn.clip_grad_norm(classifier.parameters(), grad_clip)
-            optimizer.step()
-            epoch_losses.append(batch_loss.item())
-        history.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
-    return history
+            yield order[start:start + batch_size]
+
+    def step(batch: np.ndarray):
+        if batch.size < 2:
+            return None
+        v = nn.Tensor(features[batch])
+        if loss == "mixup_gce":
+            mixup = sample_mixup(labels[batch], rng, beta=beta)
+            lam = nn.Tensor(mixup.lam[:, None])
+            v = v * lam + v[mixup.partner] * (1.0 - lam)
+            targets = mixup.mixed_targets
+        else:
+            targets = onehot[batch]
+        probs = classifier.probs(v)
+        if loss == "cce":
+            return cce_loss(probs, targets)
+        return gce_loss(probs, targets, q=q)
+
+    trainer = (run or TrainRun()).trainer(scope, classifier, optimizer,
+                                          grad_clip=grad_clip)
+    return trainer.fit(batches, step, epochs=epochs, rng=rng)

@@ -341,10 +341,20 @@ DATASET_GENERATORS: dict[str, type[SessionGenerator]] = {
 }
 
 
-def make_dataset(name: str, rng: np.random.Generator, scale: float = 1.0,
-                 max_session_length: int = 16,
+def make_dataset(name: str, rng: np.random.Generator | int,
+                 scale: float = 1.0, max_session_length: int = 16,
                  ) -> tuple[SessionDataset, SessionDataset]:
-    """Convenience factory: (train, test) for a named benchmark."""
+    """Convenience factory: (train, test) for a named benchmark.
+
+    ``rng`` accepts either a Generator or a plain integer seed; a seed
+    is routed through :func:`repro.train.seed_everything` so ad-hoc
+    ``default_rng(seed)`` construction at call sites becomes one
+    consistent, global-state-covering entry point.
+    """
+    if isinstance(rng, (int, np.integer)):
+        from ..train import seed_everything
+
+        rng = seed_everything(int(rng))
     try:
         generator_cls = DATASET_GENERATORS[name]
     except KeyError:

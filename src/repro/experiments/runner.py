@@ -29,6 +29,7 @@ from ..data import (
     make_dataset,
 )
 from ..metrics import MetricSummary, evaluate_detector, summarize_runs, true_rates
+from ..train import seed_everything
 from ..parallel import (
     GridExecutor,
     RunCache,
@@ -162,7 +163,7 @@ def run_single(model_factory: Callable[[], Estimator], dataset: str,
     train, test, rng = cached_splits(dataset, seed, scale)
     noise(train, rng)
     model = model_factory()
-    model.fit(train, rng=np.random.default_rng(seed))
+    model.fit(train, rng=seed_everything(seed))
     labels, scores = model.predict(test)
     return evaluate_detector(test.labels(), labels, scores)
 
@@ -465,14 +466,14 @@ def run_latency(settings: ExperimentSettings | None = None,
     if models is None:
         models = ["CLFD"] + list(BASELINES)
     factories = _model_factories(settings, models)
-    rng = np.random.default_rng(0)
+    rng = seed_everything(0)
     train, _ = make_dataset(dataset, rng, scale=settings.scale)
     apply_uniform_noise(train, eta, rng)
     latencies: dict[str, float] = {}
     for name, factory in factories.items():
         model = factory()
         start = time.perf_counter()
-        model.fit(train, rng=np.random.default_rng(0))
+        model.fit(train, rng=seed_everything(0))
         latencies[name] = time.perf_counter() - start
         if verbose:  # pragma: no cover
             print(f"{name:10s} {latencies[name]:8.2f}s", flush=True)

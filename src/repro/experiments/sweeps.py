@@ -16,6 +16,7 @@ import numpy as np
 from ..core import CLFD, CLFDConfig
 from ..data import make_dataset
 from ..metrics import evaluate_detector, summarize_runs
+from ..train import seed_everything
 from .runner import NoiseSpec, uniform_noise
 from .settings import ExperimentSettings
 
@@ -55,11 +56,11 @@ def sweep_config_field(field: str, values: Sequence,
     for value in values:
         runs = []
         for seed in range(settings.seeds):
-            rng = np.random.default_rng(seed)
+            rng = seed_everything(seed)
             train, test = make_dataset(dataset, rng, scale=settings.scale)
             noise(train, rng)
             config = CLFDConfig(**{**base.__dict__, field: value})
-            model = CLFD(config).fit(train, rng=np.random.default_rng(seed))
+            model = CLFD(config).fit(train, rng=seed_everything(seed))
             metrics = evaluate_detector(test.labels(), *model.predict(test))
             metrics.update(model.correction_quality(train))
             runs.append(metrics)

@@ -45,7 +45,7 @@ from .fused import (
 )
 from .gru import GRU, GRUCell
 from .lstm import LSTM, LSTMCell
-from .module import Module, Parameter
+from .module import LoadReport, Module, Parameter
 from .optim import SGD, Adam, Optimizer, clip_grad_norm
 from .profiler import OpStats, Profiler, profile
 from .schedulers import (
@@ -80,7 +80,7 @@ __all__ = [
     "fused_lstm_step", "fused_lstm_step_preproj", "fused_lstm_sequence",
     "fused_gru_step", "fused_gru_step_preproj", "fused_gru_sequence",
     "Profiler", "OpStats", "profile",
-    "Module", "Parameter",
+    "Module", "Parameter", "LoadReport",
     "Linear", "Embedding", "LayerNorm", "Dropout", "Sequential",
     "ReLU", "LeakyReLU", "Tanh", "GELU", "Sigmoid",
     "LSTM", "LSTMCell", "GRU", "GRUCell", "BiLSTM", "AttentionPooling",

@@ -2,13 +2,26 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterator
 
 import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["Module", "Parameter"]
+__all__ = ["Module", "Parameter", "LoadReport"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LoadReport:
+    """What a non-strict :meth:`Module.load_state_dict` skipped."""
+
+    missing: list[str]
+    unexpected: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.missing and not self.unexpected
 
 
 class Parameter(Tensor):
@@ -85,17 +98,28 @@ class Module:
         """Copy of every parameter array, keyed by dotted path."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
-        """Load parameter arrays saved by :meth:`state_dict`."""
+    def load_state_dict(self, state: dict[str, np.ndarray],
+                        strict: bool = True) -> "LoadReport":
+        """Load parameter arrays saved by :meth:`state_dict`.
+
+        ``strict=True`` (the default) raises :class:`KeyError` when the
+        state dict is missing parameters or carries unexpected keys —
+        loading a mismatched archive must fail loudly, never silently
+        produce a half-initialised model.  ``strict=False`` loads the
+        intersection (shape mismatches still raise) and returns a
+        :class:`LoadReport` naming what was skipped.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
-        if missing or unexpected:
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if strict and (missing or unexpected):
             raise KeyError(
-                f"state dict mismatch: missing={sorted(missing)} "
-                f"unexpected={sorted(unexpected)}"
+                f"state dict mismatch: missing={missing} "
+                f"unexpected={unexpected}"
             )
         for name, param in own.items():
+            if name not in state:
+                continue
             value = np.asarray(state[name], dtype=param.data.dtype)
             if value.shape != param.shape:
                 raise ValueError(
@@ -103,6 +127,7 @@ class Module:
                     f"expected {param.shape}, got {value.shape}"
                 )
             param.data = value.copy()
+        return LoadReport(missing=missing, unexpected=unexpected)
 
     # ------------------------------------------------------------------
     # Call protocol

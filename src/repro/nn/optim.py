@@ -28,7 +28,14 @@ def clip_grad_norm(parameters: Sequence[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base optimizer: holds parameters, exposes step() and zero_grad()."""
+    """Base optimizer: holds parameters, exposes step() and zero_grad().
+
+    Optimizers are checkpointable: :meth:`state_dict` captures every
+    hyper-parameter and moment buffer (``lr`` included, since schedulers
+    mutate it mid-training) and :meth:`load_state_dict` restores them
+    bit for bit, so an interrupted run resumed from a snapshot takes
+    exactly the update steps the uninterrupted run would have.
+    """
 
     def __init__(self, parameters: Sequence[Parameter], lr: float):
         if lr <= 0:
@@ -42,6 +49,35 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of hyper-parameters and internal buffers."""
+        return {"lr": float(self.lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a snapshot taken by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+
+    def _load_buffers(self, name: str, stored: Sequence[np.ndarray]
+                      ) -> list[np.ndarray]:
+        """Validate per-parameter buffers against the parameter list."""
+        stored = list(stored)
+        if len(stored) != len(self.parameters):
+            raise ValueError(
+                f"{name} holds {len(stored)} buffers for "
+                f"{len(self.parameters)} parameters")
+        buffers = []
+        for i, (p, value) in enumerate(zip(self.parameters, stored)):
+            arr = np.array(value, copy=True)
+            if arr.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}[{i}]: expected "
+                    f"{p.data.shape}, got {arr.shape}")
+            buffers.append(arr)
+        return buffers
 
 
 class SGD(Optimizer):
@@ -66,6 +102,21 @@ class SGD(Optimizer):
                 v += grad
                 grad = v
             p.data -= self.lr * grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            momentum=float(self.momentum),
+            weight_decay=float(self.weight_decay),
+            velocity=[v.copy() for v in self._velocity],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self.weight_decay = float(state["weight_decay"])
+        self._velocity = self._load_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -102,3 +153,26 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state.update(
+            beta1=float(self.beta1),
+            beta2=float(self.beta2),
+            eps=float(self.eps),
+            weight_decay=float(self.weight_decay),
+            step=int(self._step),
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step = int(state["step"])
+        self._m = self._load_buffers("m", state["m"])
+        self._v = self._load_buffers("v", state["v"])

@@ -33,6 +33,17 @@ class LRScheduler:
     def _compute_lr(self) -> float:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # Serialization (shape parameters are constructor-fixed; only the
+    # position in the schedule is mutable state).
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"epoch": int(self.epoch), "base_lr": float(self.base_lr)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+
 
 class StepLR(LRScheduler):
     """Multiply the rate by ``gamma`` every ``step_size`` epochs."""
@@ -106,3 +117,10 @@ class EarlyStopping:
         else:
             self.stale += 1
         return self.stale >= self.patience
+
+    def state_dict(self) -> dict:
+        return {"best": float(self.best), "stale": int(self.stale)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self.best = float(state["best"])
+        self.stale = int(state["stale"])

@@ -6,7 +6,7 @@ import os
 
 import numpy as np
 
-from .module import Module
+from .module import LoadReport, Module
 
 __all__ = ["save_module", "load_module"]
 
@@ -19,9 +19,19 @@ def save_module(module: Module, path: str | os.PathLike) -> None:
     np.savez(path, **state)
 
 
-def load_module(module: Module, path: str | os.PathLike) -> Module:
-    """Restore a state dict previously written by :func:`save_module`."""
+def load_module(module: Module, path: str | os.PathLike,
+                strict: bool = True) -> Module:
+    """Restore a state dict previously written by :func:`save_module`.
+
+    Strict by default: an archive whose keys do not exactly match the
+    module's parameters raises :class:`KeyError` (and shape mismatches
+    raise :class:`ValueError`) instead of partially loading.  Pass
+    ``strict=False`` to load the intersection deliberately — e.g. when
+    warm-starting a related architecture; the skipped keys are recorded
+    on ``module.last_load_report``.
+    """
     with np.load(path) as archive:
         state = {key: archive[key] for key in archive.files}
-    module.load_state_dict(state)
+    report: LoadReport = module.load_state_dict(state, strict=strict)
+    module.last_load_report = report
     return module

@@ -147,7 +147,8 @@ class GridExecutor:
     def __init__(self, workers: int = 1,
                  cache: RunCache | str | None = None,
                  retries: int = 1,
-                 progress: bool | Callable[[str], None] = False):
+                 progress: bool | Callable[[str], None] = False,
+                 checkpoint_dir: str | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -155,6 +156,10 @@ class GridExecutor:
         self.workers = workers
         self.cache = RunCache(cache) if isinstance(cache, str) else cache
         self.retries = retries
+        # Per-cell resumable checkpoints (repro.train): a retried cell
+        # resumes from its last phase/epoch snapshot under
+        # <checkpoint_dir>/<task_key>/ instead of restarting at epoch 0.
+        self.checkpoint_dir = checkpoint_dir
         if progress is True:
             self._emit = lambda line: print(line, flush=True)
         elif callable(progress):
@@ -216,7 +221,8 @@ class GridExecutor:
             attempt = 0
             while True:
                 try:
-                    payload = execute_task(spec, attempt)
+                    payload = execute_task(spec, attempt,
+                                           self.checkpoint_dir)
                 except Exception as exc:
                     attempt += 1
                     if attempt > self.retries:
@@ -240,7 +246,8 @@ class GridExecutor:
         pending: dict = {}
         try:
             for i in todo:
-                pending[pool.submit(execute_task, specs[i], 0)] = (i, 0, pool)
+                pending[pool.submit(execute_task, specs[i], 0,
+                                    self.checkpoint_dir)] = (i, 0, pool)
             while pending:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 suspects: list[tuple[int, int]] = []
@@ -269,7 +276,8 @@ class GridExecutor:
                                 error=_failure_record(exc, attempt),
                                 attempts=attempt))
                         else:
-                            pending[pool.submit(execute_task, spec, attempt)
+                            pending[pool.submit(execute_task, spec, attempt,
+                                                self.checkpoint_dir)
                                     ] = (i, attempt, pool)
                     else:
                         self._finish(results, progress, i, CellResult(
@@ -293,7 +301,8 @@ class GridExecutor:
         while True:
             solo = ProcessPoolExecutor(max_workers=1)
             try:
-                payload = solo.submit(execute_task, spec, attempt).result()
+                payload = solo.submit(execute_task, spec, attempt,
+                                      self.checkpoint_dir).result()
             except Exception as exc:
                 attempt += 1
                 if attempt > self.retries:

@@ -18,10 +18,9 @@ from __future__ import annotations
 import os
 import time
 
-import numpy as np
-
 from ..metrics import evaluate_detector, true_rates
-from .tasks import TaskSpec
+from ..train import TrainRun, seed_everything
+from .tasks import TaskSpec, task_key
 
 __all__ = ["execute_task", "build_estimator"]
 
@@ -57,14 +56,44 @@ def _hit_failpoint(spec: TaskSpec, attempt: int) -> None:
         return
     if point == "crash":  # pragma: no cover - kills the process
         os._exit(13)
+    if point.startswith("stop_after:"):
+        return  # handled in execute_task (needs the cell's TrainRun)
     raise ValueError(f"unknown failpoint {point!r}")
 
 
-def execute_task(spec: TaskSpec, attempt: int = 0) -> dict:
+def _cell_run(spec: TaskSpec, attempt: int,
+              checkpoint_dir: str | None) -> TrainRun | None:
+    """Build the cell's resumable TrainRun (None without a directory).
+
+    Every attempt opens the same per-cell directory with ``resume=True``:
+    an empty directory is a fresh run, and a retry after a mid-training
+    crash resumes from the last phase/epoch checkpoint instead of
+    restarting from epoch 0.  The ``stop_after:<tag>:<N>`` failpoint
+    interrupts attempts below ``N`` right after ``<tag>`` checkpoints —
+    the fault-injection hook the resume tests drive.
+    """
+    if checkpoint_dir is None:
+        return None
+    cell_dir = os.path.join(checkpoint_dir, task_key(spec))
+    run = TrainRun(cell_dir, journal=os.path.join(cell_dir, "journal.jsonl"),
+                   resume=True)
+    point = spec.failpoint or ""
+    if point.startswith("stop_after:"):
+        _, tag, threshold = point.split(":", 2)
+        if attempt < int(threshold):
+            run.stop_after = tag
+    return run
+
+
+def execute_task(spec: TaskSpec, attempt: int = 0,
+                 checkpoint_dir: str | None = None) -> dict:
     """Run one cell; returns ``{"metrics": ..., "seconds": ...}``.
 
     Raises whatever the underlying training raises — fault isolation
-    (retry, structured failure records) is the executor's job.
+    (retry, structured failure records) is the executor's job.  With a
+    ``checkpoint_dir``, training state snapshots under
+    ``<checkpoint_dir>/<task_key>/`` and a retried cell resumes from its
+    last checkpoint.
     """
     _hit_failpoint(spec, attempt)
     from ..data.split_cache import cached_splits
@@ -73,7 +102,15 @@ def execute_task(spec: TaskSpec, attempt: int = 0) -> dict:
     train, test, rng = cached_splits(spec.dataset, spec.seed, spec.scale)
     spec.apply_noise(train, rng)
     model = build_estimator(spec)
-    model.fit(train, rng=np.random.default_rng(spec.seed))
+    run = _cell_run(spec, attempt, checkpoint_dir)
+    fit_kwargs = {}
+    if run is not None and getattr(model, "supports_train_run", False):
+        fit_kwargs["run"] = run
+    model.fit(train, rng=seed_everything(spec.seed), **fit_kwargs)
+    if fit_kwargs:
+        # Success: the checkpoints served their purpose.  Drop them (the
+        # run cache owns the metrics) but keep the journal for tailing.
+        run.checkpoints.clear()
     if spec.measure == "correction_rates":
         tpr, tnr = true_rates(train.labels(), model.corrected_labels)
         metrics = {"tpr": float(tpr), "tnr": float(tnr)}

@@ -1,0 +1,306 @@
+"""The Trainer event loop: one epoch loop for every model in the repo.
+
+Every hand-rolled ``for epoch ... for batch ...`` loop (CLFD's four
+training stages, co-teaching, the sequence-LM baselines) reduces to the
+same skeleton: draw batches from an rng, compute a loss, backprop, clip,
+step, record.  :class:`Trainer` owns that skeleton once and adds the
+three things none of the hand-rolled loops had:
+
+* **callbacks** — ``on_fit_start`` / ``on_batch_end`` / ``on_epoch_end``
+  hooks (:class:`TrainerCallback`), including
+  :class:`EarlyStoppingCallback`;
+* **checkpointing** — atomic per-epoch snapshots of module parameters,
+  full optimizer state (Adam ``m``/``v``/``t``), scheduler position,
+  callback state, the training ``Generator``'s exact RNG state, and the
+  loss history, through a :class:`~repro.train.CheckpointManager`;
+* **observability** — one :class:`~repro.train.MetricJournal` line per
+  epoch (loss, pre-clip grad norm, lr, wall-clock, optional
+  ``nn.profile`` op breakdown).
+
+Determinism contract: the Trainer consumes randomness *only* through
+the caller's ``batches(rng)`` / ``step(batch)`` closures, in the same
+order the hand-rolled loops did, and snapshots the generator state at
+every epoch boundary.  A run killed at any point and resumed from its
+last snapshot therefore produces **bit-identical** final parameters,
+optimizer state and journal entries to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from .. import nn
+from .checkpoint import CheckpointManager
+from .journal import MetricJournal
+from .seeding import generator_state, set_generator_state
+
+__all__ = ["Trainer", "TrainerCallback", "EarlyStoppingCallback",
+           "TrainingInterrupted"]
+
+
+class TrainingInterrupted(RuntimeError):
+    """Deliberate mid-run stop (crash drills, ``--stop-after``).
+
+    Raised *after* the snapshot for ``tag`` is durably on disk, so a
+    handler — or the next process — can resume from exactly this point.
+    """
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        super().__init__(
+            f"training interrupted after {tag!r} (checkpoint saved; "
+            f"resume to continue)")
+
+
+class TrainerCallback:
+    """Base callback: override any subset of the hooks.
+
+    Stateful callbacks should implement ``state_dict`` /
+    ``load_state_dict`` so their state rides inside snapshots — e.g.
+    early-stopping patience counters must survive a resume or the
+    resumed run would stop at a different epoch.
+    """
+
+    def on_fit_start(self, trainer: "Trainer") -> None:
+        pass
+
+    def on_batch_end(self, trainer: "Trainer", batch_index: int,
+                     loss: float) -> None:
+        pass
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int,
+                     logs: dict) -> None:
+        pass
+
+    def state_dict(self) -> dict:
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        pass
+
+
+class EarlyStoppingCallback(TrainerCallback):
+    """Stop the fit when the epoch loss plateaus (``nn.EarlyStopping``)."""
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0,
+                 monitor: str = "loss"):
+        self.stopper = nn.EarlyStopping(patience=patience,
+                                        min_delta=min_delta)
+        self.monitor = monitor
+        self.stopped_epoch: int | None = None
+
+    def on_epoch_end(self, trainer: "Trainer", epoch: int,
+                     logs: dict) -> None:
+        if self.stopper.update(float(logs[self.monitor])):
+            self.stopped_epoch = epoch
+            trainer.should_stop = True
+
+    def state_dict(self) -> dict:
+        state = self.stopper.state_dict()
+        state["stopped_epoch"] = self.stopped_epoch
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        self.stopper.load_state_dict(state)
+        stopped = state.get("stopped_epoch")
+        self.stopped_epoch = None if stopped is None else int(stopped)
+
+
+class Trainer:
+    """Checkpointed, observable epoch loop; see module docstring.
+
+    Parameters
+    ----------
+    modules: the module(s) whose parameters the snapshot covers — a
+        single :class:`~repro.nn.Module` or a ``{name: Module}`` dict
+        when the optimizer spans several (DeepLog trains embedding +
+        LSTM + head together).
+    optimizer: the optimizer driving ``modules``; snapshots capture its
+        full state via ``state_dict``.
+    scheduler: optional LR scheduler, stepped once per epoch.
+    grad_clip: global-norm clip threshold (None = record the norm but
+        never scale).
+    scope: checkpoint tag and journal ``phase`` for this loop.
+    checkpoints/journal/resume/snapshot_every/stop_after/profile: see
+        :class:`~repro.train.TrainRun`, which wires them consistently.
+    """
+
+    def __init__(self, modules, optimizer: nn.Optimizer, *,
+                 scheduler: nn.LRScheduler | None = None,
+                 grad_clip: float | None = None,
+                 callbacks: Sequence[TrainerCallback] = (),
+                 scope: str = "train",
+                 checkpoints: CheckpointManager | None = None,
+                 journal: MetricJournal | None = None,
+                 resume: bool = False,
+                 snapshot_every: int = 1,
+                 stop_after: str | None = None,
+                 profile: bool = False):
+        if isinstance(modules, nn.Module):
+            modules = {"model": modules}
+        if not modules:
+            raise ValueError("Trainer needs at least one module")
+        if snapshot_every < 1:
+            raise ValueError("snapshot_every must be >= 1")
+        self.modules: dict[str, nn.Module] = dict(modules)
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.grad_clip = grad_clip
+        self.callbacks = list(callbacks)
+        self.scope = scope
+        self.checkpoints = checkpoints
+        self.journal = journal
+        self.resume = resume
+        self.snapshot_every = snapshot_every
+        self.stop_after = stop_after
+        self.profile = profile
+        self.should_stop = False
+        self.history: list[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, batches: Callable[[np.random.Generator], Iterable],
+            step: Callable[[object], "nn.Tensor | None"], *,
+            epochs: int, rng: np.random.Generator) -> list[float]:
+        """Run (or resume) the loop; returns the per-epoch loss history.
+
+        ``batches(rng)`` is called once per epoch and must yield the
+        epoch's batches (typically index arrays); ``step(batch)``
+        computes the batch loss as an autograd Tensor, or returns None
+        to skip the batch.  Both may draw from the *same* ``rng`` —
+        snapshots capture its state, so resumed draws line up exactly.
+        """
+        self.should_stop = False
+        self.history = []
+        start = self._restore(rng)
+        if start is None:  # scope already ran to completion
+            return self.history
+        for callback in self.callbacks:
+            callback.on_fit_start(self)
+
+        for epoch in range(start, epochs):
+            epoch_start = time.perf_counter()
+            losses: list[float] = []
+            norms: list[float] = []
+            if self.profile:
+                with nn.profile() as prof:
+                    self._run_epoch(batches, step, rng, losses, norms)
+                profile = self._profile_summary(prof)
+            else:
+                self._run_epoch(batches, step, rng, losses, norms)
+                profile = None
+
+            mean_loss = float(np.mean(losses)) if losses else 0.0
+            mean_norm = float(np.mean(norms)) if norms else 0.0
+            self.history.append(mean_loss)
+            lr = float(self.optimizer.lr)
+            logs = {"loss": mean_loss, "grad_norm": mean_norm, "lr": lr}
+            for callback in self.callbacks:
+                callback.on_epoch_end(self, epoch, logs)
+            if self.journal is not None:
+                self.journal.log_epoch(
+                    phase=self.scope, epoch=epoch, loss=mean_loss,
+                    grad_norm=mean_norm, lr=lr, batches=len(losses),
+                    wall_s=time.perf_counter() - epoch_start,
+                    profile=profile)
+            if self.scheduler is not None:
+                self.scheduler.step()
+
+            completed = epoch + 1
+            done = completed >= epochs or self.should_stop
+            interrupt = self._interrupt_tag(completed, done)
+            if self.checkpoints is not None and (
+                    done or interrupt
+                    or completed % self.snapshot_every == 0):
+                self._snapshot(rng, completed, done)
+            if interrupt:
+                raise TrainingInterrupted(interrupt)
+            if self.should_stop:
+                break
+        return self.history
+
+    # ------------------------------------------------------------------
+    def _run_epoch(self, batches, step, rng, losses, norms) -> None:
+        for batch in batches(rng):
+            loss = step(batch)
+            if loss is None:
+                continue
+            self.optimizer.zero_grad()
+            loss.backward()
+            norm = nn.clip_grad_norm(
+                self.optimizer.parameters,
+                self.grad_clip if self.grad_clip is not None
+                else float("inf"))
+            self.optimizer.step()
+            value = loss.item()
+            losses.append(value)
+            norms.append(norm)
+            for callback in self.callbacks:
+                callback.on_batch_end(self, len(losses) - 1, value)
+
+    @staticmethod
+    def _profile_summary(prof, top: int = 8) -> dict[str, float]:
+        ranked = sorted(prof.ops.items(),
+                        key=lambda kv: -kv[1].backward_seconds)
+        return {name: round(stats.backward_seconds, 6)
+                for name, stats in ranked[:top]}
+
+    def _interrupt_tag(self, completed: int, done: bool) -> str | None:
+        """Which stop-after directive (if any) fires at this boundary."""
+        if self.stop_after is None:
+            return None
+        if self.stop_after == f"{self.scope}@{completed}":
+            return self.stop_after
+        if done and self.stop_after == self.scope:
+            return self.scope
+        return None
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def _snapshot(self, rng: np.random.Generator, completed: int,
+                  done: bool) -> None:
+        self.checkpoints.save(self.scope, {
+            "modules": {name: module.state_dict()
+                        for name, module in self.modules.items()},
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": (self.scheduler.state_dict()
+                          if self.scheduler is not None else None),
+            "callbacks": [cb.state_dict() for cb in self.callbacks],
+            "rng": generator_state(rng),
+            "epoch": int(completed),
+            "history": [float(x) for x in self.history],
+            "done": bool(done),
+        })
+
+    def _restore(self, rng: np.random.Generator) -> int | None:
+        """Load this scope's snapshot; returns the start epoch.
+
+        Returns None when the scope already completed — modules, rng and
+        history are restored so downstream phases proceed identically.
+        """
+        if not self.resume or self.checkpoints is None:
+            return 0
+        state = self.checkpoints.load(self.scope)
+        if state is None:
+            return 0
+        for name, module in self.modules.items():
+            module.load_state_dict(state["modules"][name])
+        self.optimizer.load_state_dict(state["optimizer"])
+        if self.scheduler is not None and state["scheduler"] is not None:
+            self.scheduler.load_state_dict(state["scheduler"])
+        for callback, cb_state in zip(self.callbacks, state["callbacks"]):
+            callback.load_state_dict(cb_state)
+        set_generator_state(rng, state["rng"])
+        self.history = [float(x) for x in state["history"]]
+        start = int(state["epoch"])
+        if self.journal is not None:
+            self.journal.drop(
+                lambda e: (e.get("phase") == self.scope
+                           and "event" not in e
+                           and e.get("epoch", -1) >= start))
+            self.journal.log_event("resume", self.scope, epoch=start,
+                                   done=bool(state["done"]))
+        return None if state["done"] else start

@@ -70,3 +70,67 @@ def test_main_sweep_runs(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "sweep over q" in out
+
+
+def test_parser_train_command(tmp_path):
+    args = build_parser().parse_args(
+        ["train", "--checkpoint-dir", str(tmp_path), "--seed", "3",
+         "--eta", "0.2", "--resume", "--snapshot-every", "2",
+         "--stop-after", "corrector", "--metrics-out", "m.json"])
+    assert args.command == "train"
+    assert args.seed == 3 and args.resume
+    assert args.snapshot_every == 2
+    assert args.stop_after == "corrector"
+    assert args.metrics_out == "m.json"
+
+
+def test_parser_train_requires_checkpoint_dir():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["train"])
+
+
+def test_parser_tail_command():
+    args = build_parser().parse_args(
+        ["tail", "--journal", "j.jsonl", "-n", "5", "--phase",
+         "corrector/ssl"])
+    assert args.command == "tail"
+    assert args.lines == 5 and args.phase == "corrector/ssl"
+    assert not args.follow
+
+
+def test_main_train_stop_resume_tail(tmp_path, capsys):
+    """The full crash-drill workflow through the CLI.
+
+    A --stop-after run exits 3 with checkpoints on disk; --resume
+    finishes it; the metrics JSON is bit-identical to a clean run; and
+    `repro tail` renders the journal.
+    """
+    ckpt = tmp_path / "ckpt"
+    common = ["--scale", "0.02", "train", "--eta", "0.2", "--seed", "1",
+              "--checkpoint-dir", str(ckpt)]
+
+    code = main(common + ["--stop-after", "corrector"])
+    out = capsys.readouterr().out
+    assert code == 3
+    assert "interrupted after 'corrector'" in out
+    assert "--resume" in out
+
+    resumed_json = tmp_path / "resumed.json"
+    code = main(common + ["--resume", "--metrics-out", str(resumed_json)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "resuming CLFD" in out and "f1=" in out
+
+    clean_json = tmp_path / "clean.json"
+    code = main(["--scale", "0.02", "train", "--eta", "0.2", "--seed",
+                 "1", "--checkpoint-dir", str(tmp_path / "clean-ckpt"),
+                 "--metrics-out", str(clean_json)])
+    capsys.readouterr()
+    assert code == 0
+    assert resumed_json.read_text() == clean_json.read_text()
+
+    code = main(["tail", "--journal", str(ckpt / "journal.jsonl"),
+                 "-n", "5"])
+    out = capsys.readouterr().out
+    assert code in (0, None)
+    assert "epoch" in out or "phase_complete" in out

@@ -194,7 +194,8 @@ def test_run_comparison_resumes_from_cache(settings, tmp_path, monkeypatch):
     # Any recomputation after the cold sweep is a cache failure.
     monkeypatch.setattr(
         executor_mod, "execute_task",
-        lambda spec, attempt=0: pytest.fail("cache miss: recomputed a cell"))
+        lambda spec, attempt=0, checkpoint_dir=None:
+        pytest.fail("cache miss: recomputed a cell"))
     warm = run_comparison(settings, [uniform_noise(0.2)], **kwargs)
     assert warm == cold
 
@@ -233,11 +234,11 @@ def test_failed_cells_raise_sweep_error_after_completion(settings,
     real = executor_mod.execute_task
     calls = []
 
-    def flaky(spec, attempt=0):
+    def flaky(spec, attempt=0, checkpoint_dir=None):
         calls.append(spec.dataset)
         if spec.dataset == "cert":
             raise RuntimeError("injected")
-        return real(spec, attempt)
+        return real(spec, attempt, checkpoint_dir)
 
     monkeypatch.setattr(executor_mod, "execute_task", flaky)
     with pytest.raises(SweepError) as excinfo:

@@ -158,6 +158,54 @@ def test_save_load_module_roundtrip(rng, tmp_path):
     np.testing.assert_allclose(net(x).data, other(x).data)
 
 
+class WiderNet(nn.Module):
+    """TinyNet plus one extra layer — a deliberately mismatched arch."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.fc1 = nn.Linear(4, 8, rng)
+        self.fc2 = nn.Linear(8, 2, rng)
+        self.extra = nn.Linear(2, 2, rng)
+
+    def forward(self, x):
+        return self.extra(self.fc2(self.fc1(x).relu()))
+
+
+def test_load_module_strict_rejects_mismatched_archive(rng, tmp_path):
+    # Regression: loading an archive from a different architecture used
+    # to partially load and silently leave the rest at init values.
+    path = tmp_path / "tiny.npz"
+    nn.save_module(TinyNet(rng), path)
+    target = WiderNet(np.random.default_rng(3))
+    with pytest.raises(KeyError, match="missing"):
+        nn.load_module(target, path)
+
+
+def test_load_module_non_strict_reports_skipped_keys(rng, tmp_path):
+    path = tmp_path / "tiny.npz"
+    source = TinyNet(rng)
+    nn.save_module(source, path)
+    target = WiderNet(np.random.default_rng(3))
+    before = target.extra.weight.data.copy()
+    nn.load_module(target, path, strict=False)
+    report = target.last_load_report
+    assert not report.clean
+    assert report.missing == ["extra.bias", "extra.weight"]
+    assert report.unexpected == []
+    # Shared keys loaded, uncovered ones untouched.
+    np.testing.assert_array_equal(target.fc1.weight.data,
+                                  source.fc1.weight.data)
+    np.testing.assert_array_equal(target.extra.weight.data, before)
+
+
+def test_load_module_strict_success_reports_clean(rng, tmp_path):
+    path = tmp_path / "tiny.npz"
+    nn.save_module(TinyNet(rng), path)
+    target = TinyNet(np.random.default_rng(3))
+    nn.load_module(target, path)
+    assert target.last_load_report.clean
+
+
 def test_sgd_descends_quadratic():
     p = nn.Parameter(np.array([5.0]))
     opt = nn.SGD([p], lr=0.1)

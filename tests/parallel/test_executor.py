@@ -35,7 +35,7 @@ def test_cache_skips_recompute(make_spec, tmp_path, monkeypatch):
 
     # Warm run: every cell must come from the cache — make any actual
     # execution blow up to prove none happens.
-    def boom(spec, attempt=0):
+    def boom(spec, attempt=0, checkpoint_dir=None):
         raise AssertionError("cache miss: executed a cached cell")
 
     monkeypatch.setattr(executor_mod, "execute_task", boom)

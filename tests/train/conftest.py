@@ -1,0 +1,35 @@
+"""Shared fixtures for the training-runtime tests: a tiny noisy split.
+
+Epoch counts are cut to the bone — resume tests run several full fits,
+and what they assert (bit-identical state) is epoch-count independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CLFDConfig
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+
+TINY = dict(
+    embedding_dim=12,
+    hidden_size=16,
+    batch_size=32,
+    aux_batch_size=8,
+    ssl_epochs=2,
+    supcon_epochs=2,
+    classifier_epochs=8,
+    word2vec=Word2VecConfig(dim=12, epochs=1),
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return CLFDConfig(**TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_data():
+    rng = np.random.default_rng(11)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    return train, test

@@ -1,0 +1,121 @@
+"""Tests for the JSONL metric journal."""
+
+import json
+
+from repro.train import (
+    DETERMINISTIC_FIELDS,
+    MetricJournal,
+    deterministic_entries,
+    format_entry,
+    read_journal,
+    tail_journal,
+)
+
+
+def _sample_journal(path):
+    journal = MetricJournal(path)
+    journal.log_epoch("ssl", 0, 1.5, 2.0, 0.01, 7, 0.25)
+    journal.log_epoch("ssl", 1, 1.2, 1.8, 0.01, 7, 0.24)
+    journal.log_event("phase_complete", "ssl")
+    journal.log_epoch("head", 0, 0.9, 0.5, 0.05, 3, 0.02,
+                      profile={"matmul": 0.01, "tanh": 0.002})
+    return journal
+
+
+def test_log_and_read_roundtrip(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    entries = read_journal(path)
+    assert len(entries) == 4
+    assert entries[0]["phase"] == "ssl" and entries[0]["epoch"] == 0
+    assert entries[2] == {"event": "phase_complete", "phase": "ssl"}
+    assert entries[3]["profile"]["matmul"] == 0.01
+
+
+def test_read_journal_skips_torn_trailing_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    with open(path, "a") as fh:
+        fh.write('{"phase": "head", "epoch": 1, "lo')  # died mid-write
+    assert len(read_journal(path)) == 4
+
+
+def test_resume_compacts_torn_line(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    with open(path, "a") as fh:
+        fh.write('{"torn": ')
+    MetricJournal(path, resume=True)
+    raw = path.read_text()
+    assert "torn" not in raw
+    assert len(raw.splitlines()) == 4
+
+
+def test_fresh_open_truncates(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    MetricJournal(path, resume=False)
+    assert path.read_text() == ""
+
+
+def test_drop_removes_recomputed_epochs(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = _sample_journal(path)
+    removed = journal.drop(
+        lambda e: e.get("phase") == "ssl" and "event" not in e
+        and e.get("epoch", 0) >= 1)
+    assert removed == 1
+    phases = [(e.get("phase"), e.get("epoch")) for e in journal.entries()]
+    assert ("ssl", 1) not in phases
+    assert ("ssl", 0) in phases and ("head", 0) in phases
+
+
+def test_deterministic_entries_projects_out_timing(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    det = deterministic_entries(path)
+    assert len(det) == 3  # events excluded
+    for entry in det:
+        assert set(entry) <= set(DETERMINISTIC_FIELDS)
+        assert "wall_s" not in entry and "profile" not in entry
+
+
+def test_deterministic_entries_stable_across_rewrite(tmp_path):
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _sample_journal(a)
+    # Same deterministic payload, different timing fields.
+    journal = MetricJournal(b)
+    for entry in read_journal(a):
+        if "event" in entry:
+            journal.log(**entry)
+        else:
+            entry = dict(entry, wall_s=entry["wall_s"] * 3)
+            journal.log(**entry)
+    assert deterministic_entries(a) == deterministic_entries(b)
+
+
+def test_format_entry_epoch_and_event():
+    line = format_entry({"phase": "ssl", "epoch": 3, "loss": 1.25,
+                         "grad_norm": 0.5, "lr": 0.01, "wall_s": 0.2})
+    assert "epoch    3" in line and "loss=1.250000" in line
+    assert "200ms" in line
+    event = format_entry({"event": "resume", "phase": "head", "epoch": 2})
+    assert "resume" in event and "epoch=2" in event
+
+
+def test_tail_journal_limit_phase_filter(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    lines = []
+    tail_journal(path, n=2, emit=lines.append)
+    assert len(lines) == 2
+    lines = []
+    tail_journal(path, n=10, phase="ssl", emit=lines.append)
+    assert len(lines) == 3 and all("[ssl" in line for line in lines)
+
+
+def test_journal_lines_are_plain_json(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _sample_journal(path)
+    for line in path.read_text().splitlines():
+        assert isinstance(json.loads(line), dict)
