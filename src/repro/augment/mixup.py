@@ -82,5 +82,5 @@ def mix_representations(z: Tensor, batch: MixupBatch) -> Tensor:
     Algorithm 1 (line 17) where mixup is applied to encoded session
     representations.
     """
-    lam = Tensor(batch.lam[:, None])
+    lam = Tensor(batch.lam[:, None].astype(z.data.dtype))
     return z * lam + z[batch.partner] * (1.0 - lam)

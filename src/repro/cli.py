@@ -137,6 +137,11 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--out", default=None,
                     help="persist the fitted model archive here")
 
+    sub.add_parser(
+        "lint-graph",
+        help="structural lint of a CLFD training-step autograd graph "
+             "(exit 2 on error-severity issues)")
+
     tl = sub.add_parser("tail", help="render a training journal")
     tl.add_argument("--journal", required=True)
     tl.add_argument("-n", "--lines", type=int, default=10,
@@ -220,6 +225,11 @@ def main(argv: list[str] | None = None) -> int:
         _run_save(args, settings)
     elif args.command == "train":
         return _run_train(args, settings)
+    elif args.command == "lint-graph":
+        from .nn.debug.lint import lint_demo_graph
+
+        issues = lint_demo_graph(verbose=True)
+        return 2 if any(i.severity == "error" for i in issues) else 0
     elif args.command == "tail":
         from .train import tail_journal
 

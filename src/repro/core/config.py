@@ -51,6 +51,11 @@ class CLFDConfig:
     # (``repro.nn.fused``) or the composed-op reference path.
     compute_dtype: str = "float64"  # "float32" | "float64"
     fused_rnn: bool = True
+    # Debugging: run every training batch under ``nn.detect_anomaly()``,
+    # so the first NaN/inf raises an AnomalyError naming the op and its
+    # creation site (and lands in the journal) instead of silently
+    # corrupting the run.  Costs an np.isfinite scan per graph node.
+    detect_anomaly: bool = False
 
     # Batching: R sessions per batch, M auxiliary malicious sessions.
     batch_size: int = 100

@@ -24,24 +24,27 @@ __all__ = ["nt_xent_loss", "sup_con_loss"]
 
 _NEG_INF = -1e9
 
-# Per-size caches of the loss-geometry constants.  Both losses rebuild
-# the same (m, m) diagonal mask and the NT-Xent positive-index arrays
-# every call, and the losses run once per training step — for the small
-# batch sizes the paper uses, allocating and filling these dominated
-# the pure-Python side of the loss.  Entries are marked read-only so a
-# cached array can never be mutated in place by a caller.
-_DIAG_MASKS: dict[int, np.ndarray] = {}
+# Per-(size, dtype) caches of the loss-geometry constants.  Both losses
+# rebuild the same (m, m) diagonal mask and the NT-Xent positive-index
+# arrays every call, and the losses run once per training step — for the
+# small batch sizes the paper uses, allocating and filling these
+# dominated the pure-Python side of the loss.  Entries are marked
+# read-only so a cached array can never be mutated in place by a caller.
+# Masks are cached per dtype: adding a float64 mask to float32 logits
+# silently promoted the whole contrastive graph to float64.
+_DIAG_MASKS: dict[tuple[int, np.dtype], np.ndarray] = {}
 _NT_XENT_INDEX: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
 
-def _diag_mask(m: int) -> np.ndarray:
-    """Read-only (m, m) matrix with ``_NEG_INF`` on the diagonal."""
-    mask = _DIAG_MASKS.get(m)
+def _diag_mask(m: int, dtype) -> np.ndarray:
+    """Read-only (m, m) ``dtype`` matrix with ``_NEG_INF`` on the diagonal."""
+    key = (m, np.dtype(dtype))
+    mask = _DIAG_MASKS.get(key)
     if mask is None:
-        mask = np.full((m, m), 0.0)
+        mask = np.full((m, m), 0.0, dtype=key[1])
         np.fill_diagonal(mask, _NEG_INF)
         mask.setflags(write=False)
-        _DIAG_MASKS[m] = mask
+        _DIAG_MASKS[key] = mask
     return mask
 
 
@@ -75,7 +78,7 @@ def nt_xent_loss(z_a: Tensor, z_b: Tensor, temperature: float = 1.0) -> Tensor:
     z = concat([z_a, z_b], axis=0)                       # (2n, d)
     sims = cosine_similarity_matrix(z) * (1.0 / temperature)
     # Mask self-similarity out of the denominator.
-    logits = sims + Tensor(_diag_mask(2 * n))
+    logits = sims + Tensor(_diag_mask(2 * n, sims.data.dtype))
     log_denom = _row_logsumexp(logits)
     rows, positives = _nt_xent_index(n)
     pos_logit = logits[rows, positives]
@@ -126,7 +129,7 @@ def sup_con_loss(z: Tensor, labels, temperature: float = 1.0,
             pair_weights = (pair_weights > threshold).astype(np.float64)
 
     sims = cosine_similarity_matrix(z) * (1.0 / temperature)
-    logits = sims + Tensor(_diag_mask(n))
+    logits = sims + Tensor(_diag_mask(n, sims.data.dtype))
     log_denom = _row_logsumexp(logits)                    # (n,)
 
     same_label = (labels[:, None] == labels[None, :]).astype(np.float64)
@@ -141,13 +144,22 @@ def sup_con_loss(z: Tensor, labels, temperature: float = 1.0,
 
     # l_sup(i, p) = log_denom_i - logit_ip for each positive pair.
     pair_loss = (log_denom.reshape(n, 1) - logits)
-    weights = Tensor(positive_mask * pair_weights * inv_counts[:, None])
+    weights = Tensor((positive_mask * pair_weights
+                      * inv_counts[:, None]).astype(z.data.dtype))
     total = (pair_loss * weights).sum()
     return total * (1.0 / num_anchors)
 
 
 def _row_logsumexp(logits: Tensor) -> Tensor:
-    """Row-wise log-sum-exp, numerically stabilised with a detached max."""
-    row_max = Tensor(logits.data.max(axis=1, keepdims=True))
+    """Row-wise log-sum-exp, numerically stabilised with a detached max.
+
+    A non-finite row max (every entry masked out, or an upstream inf)
+    would turn ``logits - row_max`` into NaN for the whole row; guarding
+    the shift keeps the mask value itself as the result instead.
+    """
+    max_data = logits.data.max(axis=1, keepdims=True)
+    max_data = np.where(np.isfinite(max_data), max_data,
+                        np.zeros((), dtype=max_data.dtype))
+    row_max = Tensor(max_data)
     shifted = logits - row_max
     return (shifted.exp().sum(axis=1).log() + row_max.reshape(-1))

@@ -16,7 +16,8 @@ import numpy as np
 
 from ..augment import MixupBatch, sample_mixup
 from ..nn import Tensor, as_tensor
-from .robust import _check_inputs, _reduce, cce_loss, gce_loss, mae_loss
+from .robust import _PROB_FLOOR, _check_inputs, _reduce, cce_loss, gce_loss, \
+    mae_loss
 
 __all__ = ["sce_loss", "mixup_loss_value", "make_mixup_loss", "LOSS_REGISTRY"]
 
@@ -38,7 +39,7 @@ def sce_loss(probs: Tensor, targets, alpha: float = 0.1, beta: float = 1.0,
     targets = _check_inputs(probs, targets)
     probs = as_tensor(probs).clip(_EPS, 1.0)
     forward = -(Tensor(targets) * probs.log()).sum(axis=-1)
-    clamped_log_targets = np.log(np.maximum(targets, 1e-4))
+    clamped_log_targets = np.log(np.maximum(targets, _PROB_FLOOR))
     reverse = -(probs * Tensor(clamped_log_targets)).sum(axis=-1)
     return _reduce(forward * alpha + reverse * beta, reduction)
 
@@ -51,7 +52,9 @@ def mixup_loss_value(loss_fn: Callable[..., Tensor], probs_fn,
     ``probs_fn`` maps (mixed) features to softmax probabilities;
     ``batch`` supplies partners, λ draws and mixed targets.
     """
-    lam = Tensor(batch.lam[:, None])
+    # λ adopts the feature dtype: a float64 coefficient tensor would
+    # silently promote a float32 graph.
+    lam = Tensor(batch.lam[:, None].astype(features.data.dtype))
     mixed = features * lam + features[batch.partner] * (1.0 - lam)
     return loss_fn(probs_fn(mixed), batch.mixed_targets, **loss_kwargs)
 

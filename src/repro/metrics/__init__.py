@@ -3,6 +3,7 @@
 from .thresholds import best_f1_threshold, operating_points, threshold_at_fpr
 from .classification import (
     ConfusionMatrix,
+    UndefinedMetricWarning,
     MetricSummary,
     auc_roc,
     confusion_matrix,
@@ -18,6 +19,6 @@ __all__ = [
     "ConfusionMatrix", "confusion_matrix",
     "precision_recall_f1", "false_positive_rate", "true_rates",
     "roc_curve", "auc_roc", "evaluate_detector",
-    "MetricSummary", "summarize_runs",
+    "MetricSummary", "summarize_runs", "UndefinedMetricWarning",
     "best_f1_threshold", "threshold_at_fpr", "operating_points",
 ]

@@ -8,6 +8,7 @@ match the tables.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import numpy as np
 
@@ -22,7 +23,25 @@ __all__ = [
     "evaluate_detector",
     "MetricSummary",
     "summarize_runs",
+    "UndefinedMetricWarning",
 ]
+
+
+class UndefinedMetricWarning(UserWarning):
+    """A metric's denominator is empty — the value is reported as NaN.
+
+    Historically these cases silently returned 0.0 (or clamped the
+    denominator to 1), which is indistinguishable from a genuinely
+    terrible detector.  NaN + this warning makes the degenerate input
+    (no positive predictions, a single-class evaluation set, ...)
+    visible instead of folding it into the score.
+    """
+
+
+def _undefined(metric: str, reason: str) -> float:
+    warnings.warn(f"{metric} is undefined: {reason}; returning nan",
+                  UndefinedMetricWarning, stacklevel=3)
+    return float("nan")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,12 +85,21 @@ def confusion_matrix(y_true, y_pred) -> ConfusionMatrix:
 
 
 def precision_recall_f1(y_true, y_pred) -> tuple[float, float, float]:
-    """Return (precision, recall, F1) for the malicious class, in percent."""
+    """Return (precision, recall, F1) for the malicious class, in percent.
+
+    Undefined components (no positive predictions, no positive truths)
+    are NaN with an :class:`UndefinedMetricWarning`, never a silent 0.
+    """
     cm = confusion_matrix(y_true, y_pred)
-    precision = cm.tp / (cm.tp + cm.fp) if cm.tp + cm.fp else 0.0
-    recall = cm.tp / (cm.tp + cm.fn) if cm.tp + cm.fn else 0.0
-    f1 = (2 * precision * recall / (precision + recall)
-          if precision + recall else 0.0)
+    precision = (cm.tp / (cm.tp + cm.fp) if cm.tp + cm.fp
+                 else _undefined("precision", "no positive predictions"))
+    recall = (cm.tp / (cm.tp + cm.fn) if cm.tp + cm.fn
+              else _undefined("recall", "no positive ground-truth labels"))
+    if np.isnan(precision) or np.isnan(recall):
+        f1 = float("nan")
+    else:
+        f1 = (2 * precision * recall / (precision + recall)
+              if precision + recall else 0.0)
     return 100.0 * precision, 100.0 * recall, 100.0 * f1
 
 
@@ -79,14 +107,18 @@ def false_positive_rate(y_true, y_pred) -> float:
     """FPR = FP / (FP + TN), in percent (lower is better)."""
     cm = confusion_matrix(y_true, y_pred)
     negatives = cm.fp + cm.tn
-    return 100.0 * cm.fp / negatives if negatives else 0.0
+    if not negatives:
+        return 100.0 * _undefined("fpr", "no negative ground-truth labels")
+    return 100.0 * cm.fp / negatives
 
 
 def true_rates(y_true, y_pred) -> tuple[float, float]:
     """Return (TPR, TNR) in percent — Table III's label-corrector metrics."""
     cm = confusion_matrix(y_true, y_pred)
-    tpr = 100.0 * cm.tp / (cm.tp + cm.fn) if cm.tp + cm.fn else 0.0
-    tnr = 100.0 * cm.tn / (cm.tn + cm.fp) if cm.tn + cm.fp else 0.0
+    tpr = (100.0 * cm.tp / (cm.tp + cm.fn) if cm.tp + cm.fn
+           else 100.0 * _undefined("tpr", "no positive ground-truth labels"))
+    tnr = (100.0 * cm.tn / (cm.tn + cm.fp) if cm.tn + cm.fp
+           else 100.0 * _undefined("tnr", "no negative ground-truth labels"))
     return tpr, tnr
 
 
@@ -100,13 +132,26 @@ def roc_curve(y_true, scores) -> tuple[np.ndarray, np.ndarray]:
     sorted_truth = y_true[order]
     tp = np.cumsum(sorted_truth)
     fp = np.cumsum(1 - sorted_truth)
-    p = max(int(sorted_truth.sum()), 1)
-    n = max(int((1 - sorted_truth).sum()), 1)
+    # Single-class inputs leave one axis with an empty denominator; the
+    # old code clamped it to 1, which quietly pinned that axis to 0 and
+    # biased AUC to 0 (or 100).  NaN marks the axis as undefined.
+    p = int(sorted_truth.sum())
+    n = int((1 - sorted_truth).sum())
+    p = p if p else _undefined("tpr axis of roc_curve",
+                               "no positive ground-truth labels")
+    n = n if n else _undefined("fpr axis of roc_curve",
+                               "no negative ground-truth labels")
     # Collapse threshold ties: keep the last point of each distinct score.
     distinct = np.r_[np.diff(scores[order]) != 0, True]
     tpr = np.r_[0.0, tp[distinct] / p]
     fpr = np.r_[0.0, fp[distinct] / n]
     return fpr, tpr
+
+
+def _finite_metrics(metrics: dict[str, float]) -> list[str]:
+    """Names of metrics in ``metrics`` whose value is not finite."""
+    return [name for name, value in metrics.items()
+            if not np.isfinite(value)]
 
 
 def auc_roc(y_true, scores) -> float:
@@ -124,12 +169,23 @@ def evaluate_detector(y_true, y_pred, scores=None) -> dict[str, float]:
     return out
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, eq=False)
 class MetricSummary:
     """Mean ± std over repeated runs, as reported in the tables."""
 
     mean: float
     std: float
+
+    def __eq__(self, other) -> bool:
+        # Bitwise semantics: two summaries of identical runs must compare
+        # equal even when the metric is NaN (undefined on that input).
+        if not isinstance(other, MetricSummary):
+            return NotImplemented
+        return (np.array_equal(self.mean, other.mean, equal_nan=True)
+                and np.array_equal(self.std, other.std, equal_nan=True))
+
+    def __hash__(self) -> int:
+        return hash((self.mean, self.std))
 
     def __format__(self, spec: str) -> str:
         spec = spec or ".2f"

@@ -7,9 +7,12 @@ one on a validation set and describe the trade-off curve.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
-from .classification import false_positive_rate, precision_recall_f1
+from .classification import (UndefinedMetricWarning, false_positive_rate,
+                             precision_recall_f1)
 
 __all__ = ["best_f1_threshold", "threshold_at_fpr", "operating_points"]
 
@@ -34,11 +37,17 @@ def best_f1_threshold(y_true, scores) -> tuple[float, float]:
     candidates = np.unique(scores)
     candidates = np.r_[candidates.min() - 1e-12, candidates]
     best_threshold, best_f1 = float(candidates[0]), -1.0
-    for threshold in candidates:
-        pred = (scores > threshold).astype(np.int64)
-        _, _, f1 = precision_recall_f1(y_true, pred)
-        if f1 > best_f1:
-            best_threshold, best_f1 = float(threshold), f1
+    with warnings.catch_warnings():
+        # The topmost candidate predicts nothing positive, so its F1 is
+        # legitimately undefined (NaN); during the sweep that is an
+        # expected non-candidate, not something to warn about.  NaN
+        # never wins the comparison below.
+        warnings.simplefilter("ignore", UndefinedMetricWarning)
+        for threshold in candidates:
+            pred = (scores > threshold).astype(np.int64)
+            _, _, f1 = precision_recall_f1(y_true, pred)
+            if f1 > best_f1:
+                best_threshold, best_f1 = float(threshold), f1
     return best_threshold, best_f1
 
 

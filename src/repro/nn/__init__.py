@@ -12,7 +12,7 @@ from .attention import (
     TransformerEncoderLayer,
     sinusoidal_positions,
 )
-from .gradcheck import check_gradients, numeric_gradient
+from .gradcheck import GradcheckFailure, check_gradients, numeric_gradient
 from .functional import (
     cosine_similarity_matrix,
     cross_entropy,
@@ -73,6 +73,11 @@ from .tensor import (
     where,
 )
 
+# Imported last: debug pulls in losses/augment lazily and leans on the
+# modules above, so it must not participate in the import cycle.
+from . import debug
+from .debug import AnomalyError, detect_anomaly, is_anomaly_enabled
+
 __all__ = [
     "Tensor", "as_tensor", "concat", "stack", "split", "chunk", "where",
     "maximum", "minimum", "no_grad", "is_grad_enabled",
@@ -92,5 +97,6 @@ __all__ = [
     "l2_normalize", "cosine_similarity_matrix",
     "Optimizer", "SGD", "Adam", "clip_grad_norm",
     "save_module", "load_module",
-    "check_gradients", "numeric_gradient",
+    "check_gradients", "numeric_gradient", "GradcheckFailure",
+    "debug", "detect_anomaly", "AnomalyError", "is_anomaly_enabled",
 ]

@@ -1,0 +1,32 @@
+"""Numerics-debugging toolkit for the autograd engine.
+
+Three tools, all documented in DESIGN.md §11:
+
+* :func:`detect_anomaly` — context manager that tags every graph node
+  with its creating op + Python traceback and raises
+  :class:`AnomalyError` the moment a non-finite value appears in a
+  forward output or a backward gradient;
+* :mod:`repro.nn.debug.fuzz` — property-based fuzzer that hammers every
+  registered op with randomized shapes, dtypes, broadcast patterns and
+  adversarial values against gradcheck;
+* :mod:`repro.nn.debug.lint` — structural lint over a captured graph
+  (``repro lint-graph``).
+"""
+
+from .anomaly import AnomalyError, detect_anomaly, is_anomaly_enabled
+from .fuzz import (
+    OP_REGISTRY,
+    FuzzFailure,
+    FuzzReport,
+    covered_graph_ops,
+    fuzz_all,
+    fuzz_one,
+)
+from .lint import LintIssue, capture_graph, lint_graph
+
+__all__ = [
+    "AnomalyError", "detect_anomaly", "is_anomaly_enabled",
+    "OP_REGISTRY", "FuzzFailure", "FuzzReport", "covered_graph_ops",
+    "fuzz_all", "fuzz_one",
+    "LintIssue", "capture_graph", "lint_graph",
+]

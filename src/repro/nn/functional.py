@@ -54,9 +54,16 @@ def cross_entropy(logits: Tensor, labels) -> Tensor:
 
 
 def l2_normalize(x: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
-    """Project rows of ``x`` onto the unit sphere."""
-    norm = (x * x).sum(axis=axis, keepdims=True) ** 0.5
-    return x / (norm + eps)
+    """Project rows of ``x`` onto the unit sphere.
+
+    The stabilizer sits *inside* the square root: ``sqrt(sum(x²) + eps²)``.
+    The historical form ``sqrt(sum(x²)) + eps`` is finite in the forward
+    pass but its backward divides by ``sqrt(sum(x²))`` itself, so an
+    all-zero row (padding, dead features) produced NaN gradients and a
+    subnormal row produced inf — both flushed out by the op fuzzer.
+    """
+    norm = ((x * x).sum(axis=axis, keepdims=True) + eps * eps) ** 0.5
+    return x / norm
 
 
 def cosine_similarity_matrix(a: Tensor, b: Tensor | None = None) -> Tensor:

@@ -3,22 +3,67 @@
 Used both by the test suite and as a debugging aid: compares analytic
 gradients produced by :meth:`Tensor.backward` against central finite
 differences.
+
+Step sizes and tolerances default per dtype: float64 can afford a tiny
+step and tight tolerances, while float32 forward noise (~1e-7 relative)
+forces a larger step and looser bounds — reusing the float64 settings
+for float32 produces spurious failures, and reusing float32 settings
+for float64 hides real bugs.  Explicit arguments always override the
+defaults.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, Sequence
 
 import numpy as np
 
 from .tensor import Tensor
 
-__all__ = ["numeric_gradient", "check_gradients"]
+__all__ = ["numeric_gradient", "check_gradients", "GradcheckFailure"]
+
+# Per-dtype central-difference step and comparison tolerances.  The
+# float64 step 1e-6 balances truncation (O(eps^2)) against round-off
+# (O(ulp/eps)); float32 needs a much larger step for the same reason.
+_DTYPE_DEFAULTS: dict[np.dtype, dict[str, float]] = {
+    np.dtype(np.float64): {"eps": 1e-6, "atol": 1e-6, "rtol": 1e-4},
+    np.dtype(np.float32): {"eps": 1e-2, "atol": 1e-2, "rtol": 1e-2},
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GradcheckFailure:
+    """One mismatching gradient entry (``raise_on_first=False`` mode)."""
+
+    tensor_index: int
+    flat_index: int
+    analytic: float
+    numeric: float
+
+    @property
+    def abs_diff(self) -> float:
+        return abs(self.analytic - self.numeric)
+
+    def __str__(self) -> str:
+        return (f"tensor #{self.tensor_index}[{self.flat_index}]: "
+                f"analytic={self.analytic:.6e} numeric={self.numeric:.6e} "
+                f"|diff|={self.abs_diff:.3e}")
+
+
+def _defaults_for(tensors: Sequence[Tensor]) -> dict[str, float]:
+    """Per-dtype defaults, keyed by the *loosest* dtype among inputs."""
+    dtypes = {t.data.dtype for t in tensors}
+    if np.dtype(np.float32) in dtypes:
+        return _DTYPE_DEFAULTS[np.dtype(np.float32)]
+    return _DTYPE_DEFAULTS[np.dtype(np.float64)]
 
 
 def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
-                     eps: float = 1e-6) -> np.ndarray:
+                     eps: float | None = None) -> np.ndarray:
     """Central-difference gradient of scalar ``fn()`` w.r.t. ``tensor``."""
+    if eps is None:
+        eps = _defaults_for((tensor,))["eps"]
     grad = np.zeros_like(tensor.data, dtype=np.float64)
     flat = tensor.data.reshape(-1)
     grad_flat = grad.reshape(-1)
@@ -34,25 +79,52 @@ def numeric_gradient(fn: Callable[[], Tensor], tensor: Tensor,
 
 
 def check_gradients(fn: Callable[[], Tensor], tensors: Sequence[Tensor],
-                    eps: float = 1e-6, atol: float = 1e-5,
-                    rtol: float = 1e-4) -> None:
-    """Assert analytic gradients of scalar ``fn()`` match finite differences.
+                    eps: float | None = None, atol: float | None = None,
+                    rtol: float | None = None, *,
+                    raise_on_first: bool = True
+                    ) -> list[GradcheckFailure]:
+    """Compare analytic gradients of scalar ``fn()`` to finite differences.
 
-    Raises ``AssertionError`` with the offending tensor index and the max
-    absolute deviation on mismatch.
+    With ``raise_on_first=True`` (the default, and the historical
+    behaviour) an ``AssertionError`` naming the offending tensor index
+    and the max absolute deviation is raised on the first mismatching
+    tensor.  With ``raise_on_first=False`` every failing entry across
+    all tensors is collected and returned as a list of
+    :class:`GradcheckFailure` records (empty = pass) — the op fuzzer
+    uses this to report complete failure patterns instead of one entry.
     """
+    defaults = _defaults_for(tensors)
+    if eps is None:
+        eps = defaults["eps"]
+    if atol is None:
+        atol = defaults["atol"]
+    if rtol is None:
+        rtol = defaults["rtol"]
+
     for t in tensors:
         t.zero_grad()
     out = fn()
     if out.size != 1:
         raise ValueError("check_gradients requires a scalar-valued function")
     out.backward()
+    failures: list[GradcheckFailure] = []
     for idx, tensor in enumerate(tensors):
         analytic = tensor.grad if tensor.grad is not None \
             else np.zeros_like(tensor.data)
         numeric = numeric_gradient(fn, tensor, eps=eps)
-        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+        mismatch = ~np.isclose(analytic, numeric, atol=atol, rtol=rtol)
+        if not mismatch.any():
+            continue
+        if raise_on_first:
             deviation = np.abs(analytic - numeric).max()
             raise AssertionError(
                 f"gradient mismatch for tensor #{idx}: max|diff|={deviation:.3e}"
             )
+        analytic_flat = np.asarray(analytic, dtype=np.float64).reshape(-1)
+        numeric_flat = numeric.reshape(-1)
+        for flat_index in np.flatnonzero(mismatch.reshape(-1)):
+            failures.append(GradcheckFailure(
+                tensor_index=idx, flat_index=int(flat_index),
+                analytic=float(analytic_flat[flat_index]),
+                numeric=float(numeric_flat[flat_index])))
+    return failures

@@ -47,6 +47,12 @@ _DEFAULT_DTYPE = np.dtype(np.float64)
 # overhead negligible.
 _PROFILE_HOOK = None
 
+# Optional anomaly detector (see repro.nn.debug.anomaly).  When set,
+# every node created by ``_make`` is reported (the hook tags it with its
+# creating op + traceback and validates the forward output), and every
+# backward closure run is followed by a gradient check on its parents.
+_ANOMALY_HOOK = None
+
 # Sentinel installed in ``_backward`` once a graph has been released by
 # ``backward(retain_graph=False)``; distinguishes "freed" from "leaf".
 _FREED_GRAPH = object()
@@ -55,6 +61,11 @@ _FREED_GRAPH = object()
 def _set_profile_hook(hook) -> None:
     global _PROFILE_HOOK
     _PROFILE_HOOK = hook
+
+
+def _set_anomaly_hook(hook) -> None:
+    global _ANOMALY_HOOK
+    _ANOMALY_HOOK = hook
 
 
 @contextlib.contextmanager
@@ -142,7 +153,8 @@ class Tensor:
         Optional explicit dtype for the payload.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev",
+                 "name", "_ctx")
 
     def __init__(self, data, requires_grad: bool = False, name: str = "",
                  dtype=None):
@@ -159,6 +171,9 @@ class Tensor:
         self._backward: Callable[[], None] | None = None
         self._prev: tuple[Tensor, ...] = ()
         self.name = name
+        # Anomaly-mode provenance (op name + creation traceback), set by
+        # the anomaly hook; None outside ``nn.detect_anomaly()``.
+        self._ctx = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -292,6 +307,7 @@ class Tensor:
 
         self._accumulate(grad)
         hook = _PROFILE_HOOK
+        anomaly = _ANOMALY_HOOK
         for node in reversed(topo):
             fn = node._backward
             if fn is None or fn is _FREED_GRAPH or node.grad is None:
@@ -302,6 +318,8 @@ class Tensor:
                 start = time.perf_counter()
                 fn()
                 hook.record_backward(fn, time.perf_counter() - start)
+            if anomaly is not None:
+                anomaly.grads_computed(node)
 
         if not retain_graph:
             for node in topo:
@@ -319,12 +337,27 @@ class Tensor:
             out._backward = backward
             if _PROFILE_HOOK is not None:
                 _PROFILE_HOOK.record_node(backward)
+        if _ANOMALY_HOOK is not None:
+            _ANOMALY_HOOK.node_created(out, backward, parents)
         return out
 
     # ------------------------------------------------------------------
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            # Python scalars stay "weak" (NEP 50): computing directly on
+            # the payload keeps float32 graphs in float32, where wrapping
+            # the scalar in a float64 0-d Tensor would silently upcast.
+            scalar = float(other)
+            out_data = self.data + scalar
+
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad)
+
+            out = Tensor._make(out_data, (self,), backward)
+            return out
         other = as_tensor(other)
         out_data = self.data + other.data
 
@@ -340,6 +373,16 @@ class Tensor:
     __radd__ = __add__
 
     def __mul__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            scalar = float(other)
+            out_data = self.data * scalar
+
+            def backward():
+                if self.requires_grad:
+                    self._accumulate(out.grad * scalar)
+
+            out = Tensor._make(out_data, (self,), backward)
+            return out
         other = as_tensor(other)
         out_data = self.data * other.data
 
@@ -358,16 +401,24 @@ class Tensor:
         return self * -1.0
 
     def __sub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self + (-float(other))
         return self + (-as_tensor(other))
 
     def __rsub__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return (-self) + float(other)
         return as_tensor(other) + (-self)
 
     def __truediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self * (1.0 / float(other))
         other = as_tensor(other)
         return self * other ** -1.0
 
     def __rtruediv__(self, other) -> "Tensor":
+        if isinstance(other, (int, float)):
+            return self ** -1.0 * float(other)
         return as_tensor(other) * self ** -1.0
 
     def __pow__(self, exponent: float) -> "Tensor":
@@ -440,7 +491,10 @@ class Tensor:
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        # np.where over two python floats yields float64; cast back so a
+        # float32 graph is not silently promoted.
+        scale = np.where(mask, 1.0, negative_slope).astype(
+            self.data.dtype, copy=False)
         out_data = self.data * scale
 
         def backward():
@@ -452,7 +506,9 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Tanh approximation of the Gaussian error linear unit."""
-        c = np.sqrt(2.0 / np.pi)
+        # Keep the constant a python float: np.sqrt returns a "strong"
+        # np.float64 scalar that would promote float32 inputs (NEP 50).
+        c = float(np.sqrt(2.0 / np.pi))
         x = self.data
         inner = c * (x + 0.044715 * x ** 3)
         t = np.tanh(inner)

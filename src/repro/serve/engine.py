@@ -191,6 +191,13 @@ class InferenceEngine:
         results = []
         for row, item in enumerate(items):
             score = float(scores[row])
+            warnings: tuple[str, ...] = ()
+            if not np.isfinite(score):
+                # Don't let a numerically-broken model masquerade as a
+                # confident verdict: flag the session so clients can
+                # route it to review instead of trusting label/score.
+                warnings = ("score is not finite; the model produced a "
+                            "non-finite probability for this session",)
             results.append(ScoreResult(
                 session_id=item.session_id,
                 label=int(labels[row]),
@@ -199,5 +206,6 @@ class InferenceEngine:
                 oov_count=item.oov_count,
                 embedding=(tuple(np.asarray(embeddings[row], dtype=float))
                            if embeddings is not None else None),
+                warnings=warnings,
             ))
         return results

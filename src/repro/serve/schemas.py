@@ -18,6 +18,7 @@ object or ``{"sessions": [...]}``.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any
 
 __all__ = ["RequestError", "RawSession", "ScoreResult", "parse_session",
@@ -58,7 +59,13 @@ class RawSession:
 
 @dataclasses.dataclass(frozen=True)
 class ScoreResult:
-    """The scoring outcome for one session."""
+    """The scoring outcome for one session.
+
+    ``warnings`` carries structured caveats about the score ("score is
+    not finite", ...).  A non-finite score is serialised as JSON null —
+    NaN is not valid JSON and ``json.dumps`` would otherwise emit the
+    non-standard ``NaN`` literal that many clients reject.
+    """
 
     session_id: str
     label: int
@@ -66,17 +73,22 @@ class ScoreResult:
     probs: tuple[float, float]
     oov_count: int = 0
     embedding: tuple | None = None
+    warnings: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
+        finite = math.isfinite(self.score)
         out: dict[str, Any] = {
             "session_id": self.session_id,
             "label": int(self.label),
-            "score": float(self.score),
-            "probs": [float(p) for p in self.probs],
+            "score": float(self.score) if finite else None,
+            "probs": [float(p) if math.isfinite(p) else None
+                      for p in self.probs],
             "oov_count": int(self.oov_count),
         }
         if self.embedding is not None:
             out["embedding"] = [float(v) for v in self.embedding]
+        if self.warnings:
+            out["warnings"] = list(self.warnings)
         return out
 
 

@@ -49,13 +49,16 @@ class TrainRun:
         :class:`TrainingInterrupted` right after that phase/scope's
         checkpoint lands, ``"<scope>@N"`` after epoch ``N``'s snapshot.
     profile: attach ``nn.profile`` op breakdowns to journal entries.
+    detect_anomaly: run every Trainer batch under ``nn.detect_anomaly()``
+        so a NaN/inf is pinned to its creating op (and journaled) instead
+        of corrupting the parameters.
     """
 
     def __init__(self, checkpoint_dir: str | os.PathLike | None = None,
                  journal: MetricJournal | str | os.PathLike | None = None,
                  *, resume: bool = False, snapshot_every: int = 1,
                  stop_after: str | None = None, profile: bool = False,
-                 prefix: str = ""):
+                 detect_anomaly: bool = False, prefix: str = ""):
         self.checkpoints = (CheckpointManager(checkpoint_dir)
                             if checkpoint_dir is not None else None)
         if journal is None or isinstance(journal, MetricJournal):
@@ -66,6 +69,7 @@ class TrainRun:
         self.snapshot_every = snapshot_every
         self.stop_after = stop_after
         self.profile = profile
+        self.detect_anomaly = detect_anomaly
         self.prefix = prefix
 
     # ------------------------------------------------------------------
@@ -78,6 +82,7 @@ class TrainRun:
         view.snapshot_every = self.snapshot_every
         view.stop_after = self.stop_after
         view.profile = self.profile
+        view.detect_anomaly = self.detect_anomaly
         view.prefix = self.prefix + prefix
         return view
 
@@ -89,6 +94,7 @@ class TrainRun:
         kwargs.setdefault("snapshot_every", self.snapshot_every)
         kwargs.setdefault("stop_after", self.stop_after)
         kwargs.setdefault("profile", self.profile)
+        kwargs.setdefault("detect_anomaly", self.detect_anomaly)
         return Trainer(modules, optimizer, scope=self.prefix + scope,
                        **kwargs)
 

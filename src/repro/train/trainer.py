@@ -138,7 +138,8 @@ class Trainer:
                  resume: bool = False,
                  snapshot_every: int = 1,
                  stop_after: str | None = None,
-                 profile: bool = False):
+                 profile: bool = False,
+                 detect_anomaly: bool = False):
         if isinstance(modules, nn.Module):
             modules = {"model": modules}
         if not modules:
@@ -157,6 +158,7 @@ class Trainer:
         self.snapshot_every = snapshot_every
         self.stop_after = stop_after
         self.profile = profile
+        self.detect_anomaly = detect_anomaly
         self.should_stop = False
         self.history: list[float] = []
 
@@ -224,11 +226,17 @@ class Trainer:
     # ------------------------------------------------------------------
     def _run_epoch(self, batches, step, rng, losses, norms) -> None:
         for batch in batches(rng):
-            loss = step(batch)
+            try:
+                loss = self._forward_backward(step, batch)
+            except nn.AnomalyError as err:
+                if self.journal is not None:
+                    self.journal.log_event(
+                        "anomaly", self.scope, op=err.op,
+                        anomaly_phase=err.phase, batch=len(losses),
+                        message=str(err).splitlines()[0])
+                raise
             if loss is None:
                 continue
-            self.optimizer.zero_grad()
-            loss.backward()
             norm = nn.clip_grad_norm(
                 self.optimizer.parameters,
                 self.grad_clip if self.grad_clip is not None
@@ -239,6 +247,27 @@ class Trainer:
             norms.append(norm)
             for callback in self.callbacks:
                 callback.on_batch_end(self, len(losses) - 1, value)
+
+    def _forward_backward(self, step, batch) -> "nn.Tensor | None":
+        """One forward + backward, under anomaly detection when enabled.
+
+        With ``detect_anomaly=True`` a NaN/inf anywhere in the batch's
+        graph raises :class:`nn.AnomalyError` naming the op and its
+        creation site instead of corrupting the parameters; the caller
+        journals the event and re-raises.
+        """
+        if not self.detect_anomaly:
+            return self._step_and_backward(step, batch)
+        with nn.detect_anomaly():
+            return self._step_and_backward(step, batch)
+
+    def _step_and_backward(self, step, batch) -> "nn.Tensor | None":
+        loss = step(batch)
+        if loss is None:
+            return None
+        self.optimizer.zero_grad()
+        loss.backward()
+        return loss
 
     @staticmethod
     def _profile_summary(prof, top: int = 8) -> dict[str, float]:

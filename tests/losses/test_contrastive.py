@@ -197,9 +197,10 @@ def test_diag_mask_cache_reuses_and_protects_arrays(rng):
     mod._NT_XENT_INDEX.clear()
     base = rng.normal(size=(8, 6))
     first = nt_xent_loss(Tensor(base), Tensor(base * 2.0)).item()
-    assert set(mod._DIAG_MASKS) == {16}
-    mask = mod._DIAG_MASKS[16]
-    assert mod._diag_mask(16) is mask  # second call reuses
+    key = (16, np.dtype(np.float64))
+    assert set(mod._DIAG_MASKS) == {key}
+    mask = mod._DIAG_MASKS[key]
+    assert mod._diag_mask(16, np.float64) is mask  # second call reuses
     with pytest.raises(ValueError):
         mask[0, 0] = 1.0  # cached arrays are immutable
     second = nt_xent_loss(Tensor(base), Tensor(base * 2.0)).item()
@@ -213,6 +214,57 @@ def test_sup_con_shares_diag_mask_cache(rng):
     z = Tensor(rng.normal(size=(6, 4)))
     labels = np.array([0, 0, 1, 1, 0, 1])
     a = sup_con_loss(z, labels, variant="unweighted").item()
-    assert 6 in mod._DIAG_MASKS
+    assert (6, np.dtype(np.float64)) in mod._DIAG_MASKS
     b = sup_con_loss(z, labels, variant="unweighted").item()
     assert a == b
+
+
+# ----------------------------------------------------------------------
+# Low-temperature / extreme-scale stability (numerics hardening)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_nt_xent_low_temperature_extreme_scale_is_finite(dtype):
+    """τ=0.01 with ±50-scale rows: logits reach ±5e5 before the row-max
+    shift; the loss and every gradient must stay finite and keep the
+    input dtype (no silent float64 upcast on float32 graphs)."""
+    rng = np.random.default_rng(0)
+    base = rng.normal(size=(6, 4)) * 50.0
+    base[2] = 0.0  # an all-zero row (padding / dead features)
+    z_a = Tensor(base.astype(dtype), requires_grad=True)
+    z_b = Tensor((base + rng.normal(size=(6, 4))).astype(dtype),
+                 requires_grad=True)
+    loss = nt_xent_loss(z_a, z_b, temperature=0.01)
+    assert loss.data.dtype == np.dtype(dtype)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    for t in (z_a, z_b):
+        assert np.isfinite(t.grad).all()
+        assert t.grad.dtype == np.dtype(dtype)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_sup_con_low_temperature_extreme_scale_is_finite(dtype):
+    rng = np.random.default_rng(1)
+    base = rng.normal(size=(6, 4)) * 50.0
+    base[4] = 0.0
+    z = Tensor(base.astype(dtype), requires_grad=True)
+    labels = np.array([0, 1, 0, 1, 0, 1])
+    loss = sup_con_loss(z, labels, temperature=0.01,
+                        confidences=rng.uniform(0.5, 1.0, size=6))
+    assert loss.data.dtype == np.dtype(dtype)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    assert np.isfinite(z.grad).all()
+    assert z.grad.dtype == np.dtype(dtype)
+
+
+def test_nt_xent_all_zero_batch_is_finite():
+    """Degenerate all-zero batch: cosine sims are 0/0-adjacent; the
+    pre-fix l2_normalize produced NaN gradients here."""
+    z_a = Tensor(np.zeros((4, 3)), requires_grad=True)
+    z_b = Tensor(np.zeros((4, 3)), requires_grad=True)
+    loss = nt_xent_loss(z_a, z_b, temperature=0.01)
+    assert np.isfinite(loss.item())
+    loss.backward()
+    assert np.isfinite(z_a.grad).all()
+    assert np.isfinite(z_b.grad).all()

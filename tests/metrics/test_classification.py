@@ -1,5 +1,7 @@
 """Tests for classification metrics."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -7,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.metrics import (
     MetricSummary,
+    UndefinedMetricWarning,
     auc_roc,
     confusion_matrix,
     evaluate_detector,
@@ -47,8 +50,10 @@ def test_f1_known_value():
 
 
 def test_degenerate_no_positive_predictions():
-    _, _, f1 = precision_recall_f1([1, 1, 0], [0, 0, 0])
-    assert f1 == 0.0
+    with pytest.warns(UndefinedMetricWarning, match="no positive predictions"):
+        precision, _, f1 = precision_recall_f1([1, 1, 0], [0, 0, 0])
+    assert np.isnan(precision)
+    assert np.isnan(f1)
 
 
 def test_true_rates_asymmetric():
@@ -137,11 +142,16 @@ def test_summarize_runs():
 @given(st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=40),
        st.integers(min_value=0, max_value=10_000))
 def test_auc_bounds_property(labels, seed):
-    """Property: AUC is always within [0, 100]."""
+    """Property: AUC is within [0, 100], or NaN on single-class input."""
     labels = np.asarray(labels)
     scores = np.random.default_rng(seed).random(labels.size)
-    value = auc_roc(labels, scores)
-    assert 0.0 <= value <= 100.0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UndefinedMetricWarning)
+        value = auc_roc(labels, scores)
+    if len(set(labels.tolist())) < 2:
+        assert np.isnan(value)
+    else:
+        assert 0.0 <= value <= 100.0
 
 
 @settings(max_examples=30, deadline=None)
@@ -151,6 +161,9 @@ def test_f1_fpr_bounds_property(n, seed):
     rng = np.random.default_rng(seed)
     y_true = rng.integers(0, 2, size=n)
     y_pred = rng.integers(0, 2, size=n)
-    _, _, f1 = precision_recall_f1(y_true, y_pred)
-    assert 0.0 <= f1 <= 100.0
-    assert 0.0 <= false_positive_rate(y_true, y_pred) <= 100.0
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UndefinedMetricWarning)
+        _, _, f1 = precision_recall_f1(y_true, y_pred)
+        fpr = false_positive_rate(y_true, y_pred)
+    assert np.isnan(f1) or 0.0 <= f1 <= 100.0
+    assert np.isnan(fpr) or 0.0 <= fpr <= 100.0

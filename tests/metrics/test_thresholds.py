@@ -1,11 +1,14 @@
 """Tests for decision-threshold utilities."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.metrics import (
+    UndefinedMetricWarning,
     best_f1_threshold,
     operating_points,
     precision_recall_f1,
@@ -85,5 +88,10 @@ def test_best_f1_is_global_max_property(n, seed):
     scores = rng.random(n)
     threshold, f1 = best_f1_threshold(y, scores)
     for candidate in np.unique(scores):
-        _, _, other = precision_recall_f1(y, (scores > candidate).astype(int))
-        assert other <= f1 + 1e-9
+        with warnings.catch_warnings():
+            # The highest candidate flags nothing positive → NaN F1,
+            # which is undefined rather than a competing maximum.
+            warnings.simplefilter("ignore", UndefinedMetricWarning)
+            _, _, other = precision_recall_f1(y,
+                                              (scores > candidate).astype(int))
+        assert np.isnan(other) or other <= f1 + 1e-9

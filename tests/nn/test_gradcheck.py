@@ -232,3 +232,75 @@ def test_sum_of_products_gradcheck_property(rows, cols, seed):
     a = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
     b = Tensor(rng.normal(size=(rows, cols)), requires_grad=True)
     check_gradients(lambda: (a * b + a ** 2).sum(), [a, b])
+
+
+# ----------------------------------------------------------------------
+# Numerics hardening: per-dtype defaults, failure collection, and the
+# l2_normalize zero-row regression.
+# ----------------------------------------------------------------------
+def test_l2_normalize_zero_row_has_finite_gradients():
+    """Regression: ``sqrt(sum(x²)) + eps`` was finite forward but its
+    backward divided by the bare ``sqrt(sum(x²))``, so an all-zero row
+    produced NaN gradients.  The stabilizer now sits inside the root."""
+    x = Tensor(np.array([[0.0, 0.0, 0.0], [3.0, 4.0, 0.0]]),
+               requires_grad=True)
+    out = nn.l2_normalize(x)
+    assert np.isfinite(out.data).all()
+    (out * out).sum().backward()
+    assert np.isfinite(x.grad).all()
+
+
+def test_l2_normalize_subnormal_row_has_finite_gradients():
+    x = Tensor(np.array([[1e-310, -1e-310, 0.0]]), requires_grad=True)
+    out = nn.l2_normalize(x)
+    assert np.isfinite(out.data).all()
+    out.sum().backward()
+    assert np.isfinite(x.grad).all()
+
+
+def test_l2_normalize_gradcheck_away_from_zero():
+    x = Tensor(_rand((3, 4), 91), requires_grad=True)
+    check_gradients(lambda: (nn.l2_normalize(x) ** 2).sum() * 0.5, [x])
+
+
+def test_gradcheck_float32_defaults_avoid_spurious_failures():
+    """float32 forward noise (~1e-7 relative) would swamp the float64
+    step 1e-6; the per-dtype defaults pick a coarser step and looser
+    tolerances, so a *correct* float32 op must pass with no explicit
+    eps/atol/rtol arguments."""
+    x = Tensor(_rand((3, 3), 92).astype(np.float32), requires_grad=True)
+    check_gradients(lambda: (x ** 2).sum().astype(np.float64), [x])
+
+
+def test_gradcheck_defaults_pick_loosest_dtype():
+    from repro.nn.gradcheck import _DTYPE_DEFAULTS, _defaults_for
+
+    f32 = Tensor(np.ones(2, dtype=np.float32))
+    f64 = Tensor(np.ones(2, dtype=np.float64))
+    assert _defaults_for([f64]) == _DTYPE_DEFAULTS[np.dtype(np.float64)]
+    assert _defaults_for([f32]) == _DTYPE_DEFAULTS[np.dtype(np.float32)]
+    # Mixed inputs take the float32 (loosest) settings.
+    assert _defaults_for([f64, f32]) == _DTYPE_DEFAULTS[np.dtype(np.float32)]
+
+
+def test_gradcheck_collects_all_failures_when_not_raising():
+    from repro.nn.gradcheck import GradcheckFailure
+
+    x = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+
+    def fn():
+        def backward():
+            # Wrong for every entry: claims 3x instead of 2x.
+            x._accumulate(out.grad * 3.0 * x.data)
+
+        out = Tensor._make(x.data ** 2, (x,), backward)
+        return out.sum()
+
+    failures = check_gradients(fn, [x], raise_on_first=False)
+    assert len(failures) == 3
+    assert all(isinstance(f, GradcheckFailure) for f in failures)
+    assert {f.flat_index for f in failures} == {0, 1, 2}
+    assert all("analytic" in str(f) for f in failures)
+    # The default mode still raises.
+    with pytest.raises(AssertionError, match="gradient mismatch"):
+        check_gradients(fn, [x])

@@ -1,10 +1,21 @@
 """GridExecutor: determinism, caching, retries, fault isolation."""
 
+import math
+
 import pytest
 
 from repro.parallel import GridExecutor, RunCache, SweepError, task_key
 from repro.parallel import executor as executor_mod
 from repro.parallel import format_timing_summary
+
+
+def assert_metrics_identical(a, b):
+    """Exact float equality per metric, treating NaN == NaN as equal
+    (an undefined metric must be undefined in both runs)."""
+    assert set(a) == set(b)
+    for name in a:
+        assert a[name] == b[name] or (math.isnan(a[name])
+                                      and math.isnan(b[name])), name
 
 
 def test_sequential_success_in_input_order(make_spec):
@@ -23,7 +34,7 @@ def test_parallel_is_bit_identical_to_sequential(make_spec):
     sequential = GridExecutor(workers=1).run(specs)
     parallel = GridExecutor(workers=2).run(specs)
     for seq, par in zip(sequential, parallel):
-        assert par.metrics == seq.metrics  # exact float equality
+        assert_metrics_identical(par.metrics, seq.metrics)
 
 
 def test_cache_skips_recompute(make_spec, tmp_path, monkeypatch):
@@ -42,7 +53,7 @@ def test_cache_skips_recompute(make_spec, tmp_path, monkeypatch):
     warm = GridExecutor(cache=cache).run(specs)
     assert all(r.cached for r in warm)
     for cold_r, warm_r in zip(cold, warm):
-        assert warm_r.metrics == cold_r.metrics
+        assert_metrics_identical(warm_r.metrics, cold_r.metrics)
 
 
 def test_cache_survives_executor_restart(make_spec, tmp_path):

@@ -11,6 +11,7 @@ import os
 
 from repro.parallel import GridExecutor, task_key
 from repro.train import read_journal
+from tests.parallel.test_executor import assert_metrics_identical
 
 
 def _journal_events(checkpoint_dir, spec):
@@ -28,7 +29,7 @@ def test_retry_resumes_from_phase_checkpoint(make_spec, tmp_path):
     result = GridExecutor(workers=1, retries=1,
                           checkpoint_dir=str(ckpt)).run([spec])[0]
     assert result.ok and result.attempts == 2
-    assert result.metrics == clean.metrics  # exact float equality
+    assert_metrics_identical(result.metrics, clean.metrics)
 
     # The journal proves the second attempt restored the phase rather
     # than recomputing it.
@@ -65,7 +66,7 @@ def test_pool_path_resumes_too(make_spec, tmp_path):
     assert all(r.ok for r in results)
     assert results[0].attempts == 2 and results[1].attempts == 1
     for got, want in zip(results, clean):
-        assert got.metrics == want.metrics
+        assert_metrics_identical(got.metrics, want.metrics)
 
 
 def test_without_checkpoint_dir_failpoint_degrades_to_noop(make_spec):
@@ -76,4 +77,4 @@ def test_without_checkpoint_dir_failpoint_degrades_to_noop(make_spec):
     spec = make_spec(seed=0, failpoint="stop_after:vectorizer:1")
     result = GridExecutor(workers=1, retries=1).run([spec])[0]
     assert result.ok and result.attempts == 1
-    assert result.metrics == clean.metrics
+    assert_metrics_identical(result.metrics, clean.metrics)

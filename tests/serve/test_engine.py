@@ -135,3 +135,34 @@ def test_engine_requires_fitted_model():
 
     with pytest.raises(ValueError):
         InferenceEngine(CLFD())
+
+
+def test_non_finite_score_carries_structured_warning(served_model,
+                                                     serve_split,
+                                                     monkeypatch):
+    """A numerically-broken model must not masquerade as a confident
+    verdict: the result carries a warnings entry and /score-style
+    serialization turns the NaN into null."""
+    _, test = serve_split
+    eng = InferenceEngine(served_model, max_batch=4, max_wait_ms=1.0)
+    try:
+        def broken_predict(dataset, return_embeddings=False):
+            n = len(dataset)
+            scores = np.full(n, np.nan)
+            return np.zeros(n, dtype=int), scores
+
+        monkeypatch.setattr(eng.model, "predict", broken_predict)
+        result = eng.score(_payload(test, 0))
+        assert result.warnings and "not finite" in result.warnings[0]
+        body = result.to_dict()
+        assert body["score"] is None
+        assert body["warnings"]
+    finally:
+        eng.close()
+
+
+def test_finite_score_has_no_warnings(engine, serve_split):
+    _, test = serve_split
+    result = engine.score(_payload(test, 1))
+    assert result.warnings == ()
+    assert "warnings" not in result.to_dict()

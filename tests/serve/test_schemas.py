@@ -6,6 +6,7 @@ from repro.serve import RequestError, parse_score_request, parse_session
 from repro.serve.schemas import (
     MAX_ACTIVITIES_PER_SESSION,
     MAX_SESSIONS_PER_REQUEST,
+    ScoreResult,
 )
 
 
@@ -69,3 +70,33 @@ def test_request_error_shape():
     err = RequestError("some_code", "explanation", status=429)
     assert err.to_dict() == {"error": "some_code", "message": "explanation"}
     assert err.status == 429
+
+
+def test_score_result_serializes_finite_scores_plainly():
+    result = ScoreResult(session_id="s", label=1, score=0.75,
+                         probs=(0.25, 0.75))
+    body = result.to_dict()
+    assert body["score"] == 0.75
+    assert body["probs"] == [0.25, 0.75]
+    assert "warnings" not in body
+
+
+def test_score_result_serializes_non_finite_as_null_with_warning():
+    """A NaN score must reach the client as JSON null plus a structured
+    warning, never as the non-standard NaN literal."""
+    import json
+    import math
+
+    result = ScoreResult(
+        session_id="s", label=0, score=float("nan"),
+        probs=(float("nan"), float("nan")),
+        warnings=("score is not finite; the model produced a non-finite "
+                  "probability for this session",),
+    )
+    body = result.to_dict()
+    assert body["score"] is None
+    assert body["probs"] == [None, None]
+    assert body["warnings"] and "not finite" in body["warnings"][0]
+    # The dict round-trips through strict JSON.
+    assert "NaN" not in json.dumps(body, allow_nan=False)
+    assert not math.isfinite(result.score)
