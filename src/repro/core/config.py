@@ -56,6 +56,11 @@ class CLFDConfig:
     # creation site (and lands in the journal) instead of silently
     # corrupting the run.  Costs an np.isfinite scan per graph node.
     detect_anomaly: bool = False
+    # Performance: trace each training step once into a replayable tape
+    # (``repro.nn.compile``) and replay it on every subsequent batch of
+    # the same input signature.  Bit-identical to the interpreted path;
+    # falls back (and journals why) for steps the tracer cannot handle.
+    compile: bool = False
 
     # Batching: R sessions per batch, M auxiliary malicious sessions.
     batch_size: int = 100

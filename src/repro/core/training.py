@@ -57,17 +57,26 @@ def train_classifier_head(classifier: SoftmaxClassifier, features: np.ndarray,
         for start in range(0, n, batch_size):
             yield order[start:start + batch_size]
 
-    def step(batch: np.ndarray):
+    dtype = classifier._dtype
+
+    def prepare(batch: np.ndarray):
+        """Impure half: mixup draws and interpolation over the frozen
+        features.  The features carry no gradient, so interpolating in
+        NumPy here is bit-identical to the former in-graph version
+        (``a - b == (-b) + a`` and scalar broadcasting are exact)."""
         if batch.size < 2:
             return None
-        v = nn.Tensor(features[batch])
+        v = features[batch]
         if loss == "mixup_gce":
             mixup = sample_mixup(labels[batch], rng, beta=beta)
-            lam = nn.Tensor(mixup.lam[:, None])
+            lam = mixup.lam[:, None]
             v = v * lam + v[mixup.partner] * (1.0 - lam)
             targets = mixup.mixed_targets
         else:
             targets = onehot[batch]
+        return (np.asarray(v, dtype=dtype), np.asarray(targets, dtype=dtype))
+
+    def program(v, targets):
         probs = classifier.probs(v)
         if loss == "cce":
             return cce_loss(probs, targets)
@@ -75,4 +84,5 @@ def train_classifier_head(classifier: SoftmaxClassifier, features: np.ndarray,
 
     trainer = (run or TrainRun()).trainer(scope, classifier, optimizer,
                                           grad_clip=grad_clip)
-    return trainer.fit(batches, step, epochs=epochs, rng=rng)
+    return trainer.fit(batches, nn.StepProgram(prepare, program),
+                       epochs=epochs, rng=rng)

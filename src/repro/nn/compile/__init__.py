@@ -1,0 +1,32 @@
+"""Trace-once / replay compilation of training steps.
+
+The interpreted autograd path rebuilds the whole graph — one Python
+closure pair and one output allocation per primitive — on every batch.
+For the small models in this reproduction that dispatch overhead, not
+the FLOPs, dominates the training step.  This package removes it:
+
+* :class:`~repro.nn.compile.tracer.Tracer` records one execution of a
+  *pure* step program into a linearized tape (creation order is already
+  a topological order);
+* the optimizer passes in :mod:`~repro.nn.compile.passes` prune dead
+  nodes, elide view ops, eliminate common subexpressions and fuse runs
+  of elementwise recomputes into single closures;
+* :class:`~repro.nn.compile.executor.CompiledStep` replays the tape:
+  refresh the input buffers, run the fused forward closures (every
+  output written in place into the buffers captured at trace time — the
+  tape *is* the arena), then run the recorded backward schedule with
+  exactly the interpreted ``Tensor.backward()`` semantics.
+
+Replay is bit-identical to the interpreted path by construction: the
+backward closures are the very closures the trace created, run in the
+same DFS order ``Tensor.backward()`` would use, and every forward
+recompute is validated bitwise against the traced forward before a tape
+is accepted.  Anything the tracer cannot prove replayable raises
+:class:`TraceError`, which callers (the Trainer) turn into a fallback
+to the interpreted path.
+"""
+
+from .executor import CompiledStep, StepProgram, compile_step
+from .tracer import TraceError
+
+__all__ = ["CompiledStep", "StepProgram", "compile_step", "TraceError"]

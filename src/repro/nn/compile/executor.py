@@ -1,0 +1,316 @@
+"""Replay executor: compiled training steps with interpreted semantics.
+
+A :class:`StepProgram` splits a training step into the two halves the
+compiler needs:
+
+* ``prepare(batch)`` — everything impure or data-dependent: RNG draws,
+  augmentation, index building, masking, dtype pre-casting.  Returns a
+  tuple of NumPy arrays (the step's inputs), or ``None`` to skip the
+  batch.  Runs eagerly on every step, compiled or not.
+* ``program(*arrays)`` — a pure tensor computation from those arrays to
+  a scalar loss.  Array lifts (``Tensor(arr)``) must be no-copy, i.e.
+  ``prepare`` pre-casts to the dtype the program consumes, so the traced
+  graph reads the input buffers directly.
+
+Calling the ``StepProgram`` itself runs prepare + program eagerly —
+that *is* the interpreted path, so compiled and interpreted runs share
+one numerical definition of the step.
+
+:class:`CompiledStep` wraps a ``StepProgram`` with a tape cache keyed by
+input shapes/dtypes.  A key miss (or a parameter buffer swapped out by
+``load_state_dict`` — detected via leaf identity) re-traces; a
+:class:`TraceError` anywhere disables compilation for this step and
+falls back to the interpreted path, journaling the reason.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .. import tensor as _tensor
+from ..tensor import Tensor
+from .passes import build_forward_program, prune_dead_nodes
+from .tracer import (TraceError, Tracer, backward_topo, tracing,
+                     validate_forward)
+
+__all__ = ["StepProgram", "CompiledStep", "compile_step"]
+
+
+class StepProgram:
+    """A training step split into impure ``prepare`` + pure ``program``."""
+
+    def __init__(self, prepare: Callable[[object], tuple | None],
+                 program: Callable[..., Tensor]):
+        self.prepare = prepare
+        self.program = program
+
+    def __call__(self, batch) -> Tensor | None:
+        """Interpreted execution: prepare, then run the program eagerly."""
+        arrays = self.prepare(batch)
+        if arrays is None:
+            return None
+        return self.program(*arrays)
+
+
+class _Tape:
+    """One traced, optimized, replayable step for a fixed input signature."""
+
+    def __init__(self, buffers: Sequence[np.ndarray], loss: Tensor,
+                 kept, forward_ops, topo, profile_entries=()):
+        self.buffers = tuple(buffers)
+        self.loss = loss
+        self.kept = kept
+        self.forward_ops = tuple(forward_ops)
+        self.topo = tuple(topo)
+        self.rev_topo = tuple(reversed(topo))
+        self._ones = np.ones_like(loss.data)
+        # Grad arena, recorded after the trace-time backward: which nodes
+        # received a gradient is a property of the graph alone, so the
+        # pooled buffers are coalesced into one flat allocation per dtype
+        # and replays reset them with a single ``fill(0.0)`` memset
+        # instead of a ``zeros_like`` allocation per node per step.
+        # Accumulation is in-place (``grad += g``), so a zero-filled
+        # arena view holds exactly the values a fresh buffer would.
+        self._grad_pool: tuple[tuple[Tensor, np.ndarray], ...] | None = None
+        self._grad_arenas: tuple[np.ndarray, ...] = ()
+        self._grad_none: tuple[Tensor, ...] = ()
+        # Backward execution plan: the (node, closure) pairs that actually
+        # ran, in order.  The ``grad is None`` skip pattern is as
+        # deterministic as the pool, so replays walk the plan directly.
+        self._plan: tuple[tuple[Tensor, Callable[[], None]], ...] | None = None
+        # Entries the interpreted path would have reported to the
+        # profiler: every requires-grad node it *created*, matching
+        # ``Tensor._make`` — the full trace in creation order, not the
+        # pruned program, because the interpreter records dead nodes
+        # (an unused LSTM state, a detached view) at creation too.
+        self.grad_entries = tuple(
+            e for e in profile_entries if e.out.requires_grad)
+
+    def snapshot_leaves(self, leaves: Sequence[Tensor]) -> None:
+        self._leaf_data = tuple((leaf, leaf.data) for leaf in leaves)
+
+    def leaves_intact(self) -> bool:
+        """False when any leaf's payload was rebound (load_state_dict
+        copies arrays in via ``param.data = ...``) — the tape's closures
+        captured the old buffer, so it must be re-traced."""
+        for leaf, data in self._leaf_data:
+            if leaf.data is not data:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def bind_inputs(self, arrays: Sequence[np.ndarray]) -> None:
+        for buffer, array in zip(self.buffers, arrays):
+            if array is not buffer:
+                np.copyto(buffer, array)
+
+    def run_forward(self) -> None:
+        for op in self.forward_ops:
+            op()
+        hook = _tensor._PROFILE_HOOK
+        if hook is not None:
+            for entry in self.grad_entries:
+                hook.record_node(entry.backward)
+        anomaly = _tensor._ANOMALY_HOOK
+        if anomaly is not None:
+            for entry in self.kept:
+                anomaly.node_created(entry.out, entry.backward,
+                                     entry.parents)
+
+    def run_backward(self) -> None:
+        """Exactly ``Tensor.backward()`` over the retained graph: reset
+        interior grads, seed the loss, run the recorded closures in the
+        recorded order with the same skip guards — but never free the
+        graph, so the tape survives for the next replay."""
+        hook = _tensor._PROFILE_HOOK
+        anomaly = _tensor._ANOMALY_HOOK
+        if self._grad_pool is None:
+            self._first_backward(hook, anomaly)
+            return
+        for arena in self._grad_arenas:
+            arena.fill(0.0)
+        for node, buffer in self._grad_pool:
+            node.grad = buffer
+        for node in self._grad_none:
+            node.grad = None
+        self.loss._accumulate(self._ones)
+        if hook is None and anomaly is None:
+            for node, fn in self._plan:
+                fn()
+        else:
+            for node, fn in self._plan:
+                if hook is None:
+                    fn()
+                else:
+                    start = time.perf_counter()
+                    fn()
+                    hook.record_backward(fn, time.perf_counter() - start)
+                if anomaly is not None:
+                    anomaly.grads_computed(node)
+
+    def _first_backward(self, hook, anomaly) -> None:
+        """Trace-time backward: run with the interpreted path's skip
+        guards while capturing the grad/no-grad pattern and execution
+        order, then coalesce the grad buffers into per-dtype arenas.
+        Leaves with gradients are the optimizer's parameters — their
+        buffers live in the arena too; the determinism of the pattern
+        preserves the ``grad is None`` skip contract both here and
+        inside the optimizer."""
+        for node in self.topo:
+            if node._backward is not None:
+                node.grad = None
+        self.loss._accumulate(self._ones)
+        plan = []
+        for node in self.rev_topo:
+            fn = node._backward
+            if fn is None or node.grad is None:
+                continue
+            plan.append((node, fn))
+            if hook is None:
+                fn()
+            else:
+                start = time.perf_counter()
+                fn()
+                hook.record_backward(fn, time.perf_counter() - start)
+            if anomaly is not None:
+                anomaly.grads_computed(node)
+        self._plan = tuple(plan)
+        by_dtype: dict[str, list[Tensor]] = {}
+        for node in self.topo:
+            if node.grad is not None:
+                by_dtype.setdefault(node.grad.dtype.str, []).append(node)
+        arenas, pool = [], []
+        for group in by_dtype.values():
+            arena = np.empty(sum(n.grad.size for n in group),
+                             dtype=group[0].grad.dtype)
+            offset = 0
+            for node in group:
+                view = arena[offset:offset + node.grad.size]
+                view = view.reshape(node.grad.shape)
+                # Preserve this pass's values: the optimizer reads these
+                # grads right after the trace step returns.
+                view[...] = node.grad
+                node.grad = view
+                pool.append((node, view))
+                offset += view.size
+            arenas.append(arena)
+        self._grad_arenas = tuple(arenas)
+        self._grad_pool = tuple(pool)
+        self._grad_none = tuple(
+            node for node in self.topo
+            if node._backward is not None and node.grad is None)
+
+
+class CompiledStep:
+    """Trace-once/replay executor around a :class:`StepProgram`."""
+
+    def __init__(self, step: StepProgram, *, max_tapes: int = 8,
+                 journal=None, scope: str = ""):
+        if not isinstance(step, StepProgram):
+            raise TypeError(
+                f"compile_step needs a StepProgram (got "
+                f"{type(step).__name__}); wrap the step's impure setup "
+                f"and pure tensor math separately")
+        self.step = step
+        self.max_tapes = max_tapes
+        self.journal = journal
+        self.scope = scope
+        self.disabled = False
+        self.traces = 0
+        self.replays = 0
+        self._tapes: OrderedDict[tuple, _Tape] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(arrays: Sequence[np.ndarray]) -> tuple:
+        return tuple((a.shape, a.dtype.str) for a in arrays)
+
+    def _log(self, event: str, **extra) -> None:
+        if self.journal is not None:
+            self.journal.log_event(event, self.scope, **extra)
+
+    def _trace(self, arrays: Sequence[np.ndarray]) -> _Tape:
+        # The tape must own its input buffers: replays copy each step's
+        # arrays into the trace-time ones, so tracing directly on views
+        # into caller-owned storage (the dataset, an embedding cache —
+        # e.g. ``np.ascontiguousarray`` of an already-contiguous slice
+        # is a no-op view) would write every future batch back into it.
+        # One defensive copy, paid once per trace.
+        arrays = tuple(np.array(a) for a in arrays)
+        tracer = Tracer()
+        with tracing(tracer):
+            loss = self.step.program(*arrays)
+        if not isinstance(loss, Tensor):
+            raise TraceError("program must return a Tensor loss")
+        if not loss.requires_grad:
+            raise TraceError("program loss does not require grad")
+        kept = prune_dead_nodes(tracer, loss)
+        forward_ops = build_forward_program(kept)
+        validate_forward(kept, forward_ops)
+        tape = _Tape(arrays, loss, kept, forward_ops, backward_topo(loss),
+                     profile_entries=tuple(tracer.entries))
+        tape.snapshot_leaves(tracer.leaves(kept))
+        self.traces += 1
+        self._log("compile-trace", nodes=len(kept),
+                  forward_ops=len(tape.forward_ops), traces=self.traces)
+        return tape
+
+    # ------------------------------------------------------------------
+    def step_and_backward(self, batch, optimizer) -> Tensor | None:
+        """Forward + zero_grad + backward, in the interpreted path's
+        order; returns the (persistent) loss tensor, or None to skip."""
+        arrays = self.step.prepare(batch)
+        if arrays is None:
+            return None
+        if self.disabled:
+            return self._interpreted(arrays, optimizer)
+
+        key = self._key(arrays)
+        tape = self._tapes.get(key)
+        if tape is not None and not tape.leaves_intact():
+            del self._tapes[key]
+            tape = None
+        if tape is None:
+            try:
+                tape = self._trace(arrays)
+            except TraceError as err:
+                self.disabled = True
+                self._log("compile-fallback", reason=str(err))
+                return self._interpreted(arrays, optimizer)
+            self._tapes[key] = tape
+            while len(self._tapes) > self.max_tapes:
+                self._tapes.popitem(last=False)
+            # The trace ran the forward already; finish the step on the
+            # freshly built graph.
+            optimizer.zero_grad()
+            tape.run_backward()
+            return tape.loss
+
+        self._tapes.move_to_end(key)
+        tape.bind_inputs(arrays)
+        tape.run_forward()
+        optimizer.zero_grad()
+        tape.run_backward()
+        self.replays += 1
+        return tape.loss
+
+    def _interpreted(self, arrays, optimizer) -> Tensor:
+        loss = self.step.program(*arrays)
+        if loss is None:
+            return None
+        optimizer.zero_grad()
+        loss.backward()
+        return loss
+
+
+def compile_step(step: StepProgram, *, max_tapes: int = 8, journal=None,
+                 scope: str = "") -> CompiledStep:
+    """Wrap a :class:`StepProgram` in a trace-once/replay executor."""
+    if isinstance(step, CompiledStep):
+        return step
+    return CompiledStep(step, max_tapes=max_tapes, journal=journal,
+                        scope=scope)

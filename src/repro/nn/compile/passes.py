@@ -1,0 +1,186 @@
+"""Optimizer passes over a traced tape.
+
+The passes run once per trace, in this order:
+
+1. :func:`prune_dead_nodes` — keep only entries reachable from the loss
+   through the tracer's data-dependency edges.  Every backward closure
+   that can run belongs to a ``_prev``-ancestor of the loss, and
+   ``_prev`` edges are a subset of tracer edges, so no pruned entry is
+   ever read by a surviving forward or backward closure.
+2. :func:`elide_views` — drop the recompute of nodes whose output is a
+   NumPy view of a parent (reshape/transpose/basic indexing/split):
+   refreshing the parent's buffer refreshes the view for free.
+3. :func:`eliminate_common_subexpressions` — a duplicate of an earlier
+   pure op (same op, same static key, same parent buffers) replaces its
+   recompute with a straight copy from the original's output.  The node
+   itself must survive: its output buffer and backward closure are
+   captured by consumers.  Restricted to ops whose backward reads only
+   the output and parent buffers — ops that capture forward
+   intermediates (relu's mask, gelu's tanh) must keep their own
+   recompute or those captured arrays go stale.
+4. :func:`fuse_elementwise` — bundle maximal runs of consecutive
+   elementwise recomputes into single closures.  The arithmetic is
+   already vectorized inside NumPy; what this removes is the per-op
+   Python dispatch in the replay loop, which is the point of compiling
+   in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tracer import TapeEntry, TraceError, Tracer
+
+__all__ = ["prune_dead_nodes", "elide_views",
+           "eliminate_common_subexpressions", "fuse_elementwise",
+           "build_forward_program"]
+
+# Ops whose output may alias a parent's buffer as a pure (identity-map)
+# view; only these are candidates for view elision.
+_VIEW_OPS = frozenset({"reshape", "transpose", "getitem", "split", "astype"})
+
+# Pure ops — deterministic functions of (parent data, static key) whose
+# backward closures read only out/parent buffers.  relu, leaky_relu,
+# gelu, clip, abs and where are deliberately absent: their backward
+# reads arrays captured at forward time, which only their own recompute
+# refreshes.
+_CSE_OPS = frozenset({"add", "mul", "pow", "exp", "log", "tanh", "sigmoid",
+                      "matmul", "sum", "max", "reshape", "transpose",
+                      "concat", "stack", "astype"})
+
+# Elementwise ops whose recomputes may be bundled into one closure.
+_ELEMENTWISE_OPS = frozenset({"add", "mul", "pow", "exp", "log", "tanh",
+                              "sigmoid", "relu", "leaky_relu", "gelu",
+                              "clip", "abs", "where", "detached"})
+
+
+def prune_dead_nodes(tracer: Tracer, loss) -> list[TapeEntry]:
+    """Entries reachable from ``loss`` via data-dependency edges, in
+    tape (creation = topological) order."""
+    position = tracer.position(loss)
+    if position is None:
+        raise TraceError(
+            "the step's loss was not created under the trace — the "
+            "program must build it from traced tensor ops")
+    keep: set[int] = set()
+    stack = [position]
+    while stack:
+        pos = stack.pop()
+        if pos in keep:
+            continue
+        keep.add(pos)
+        for parent in tracer.entries[pos].parents:
+            parent_pos = tracer.position(parent)
+            if parent_pos is not None and parent_pos not in keep:
+                stack.append(parent_pos)
+    return [entry for pos, entry in enumerate(tracer.entries)
+            if pos in keep]
+
+
+def _is_pure_view(entry: TapeEntry) -> bool:
+    if entry.op not in _VIEW_OPS:
+        return False
+    out = entry.out.data
+    for parent in entry.parents:
+        if out is parent.data:
+            return True
+        try:
+            if np.shares_memory(out, parent.data, max_work=10_000):
+                return True
+        except Exception:  # exact check too hard -> keep the recompute
+            continue
+    return False
+
+
+def elide_views(kept: list[TapeEntry]) -> set[int]:
+    """Positions (into ``kept``) whose recompute can be skipped because
+    the output aliases a parent buffer elementwise."""
+    return {i for i, entry in enumerate(kept) if _is_pure_view(entry)}
+
+
+def eliminate_common_subexpressions(
+        kept: list[TapeEntry], elided: set[int]) -> dict[int, int]:
+    """Map of duplicate-entry position -> original-entry position."""
+    seen: dict[tuple, int] = {}
+    replaced: dict[int, int] = {}
+    for i, entry in enumerate(kept):
+        if i in elided or entry.op not in _CSE_OPS:
+            continue
+        try:
+            signature = (entry.op, entry.key,
+                         tuple(id(p.data) for p in entry.parents))
+            hash(signature)
+        except TypeError:
+            continue
+        original = seen.setdefault(signature, i)
+        if original != i:
+            replaced[i] = original
+    return replaced
+
+
+class _FusedRun:
+    """One closure replaying a run of consecutive elementwise recomputes."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: tuple[Callable[[], None], ...]):
+        self.ops = ops
+
+    def __call__(self) -> None:
+        for op in self.ops:
+            op()
+
+
+def fuse_elementwise(steps: list[tuple[str, Callable[[], None]]]
+                     ) -> list[Callable[[], None]]:
+    """Collapse maximal runs of elementwise recomputes into one call."""
+    program: list[Callable[[], None]] = []
+    run: list[Callable[[], None]] = []
+    for op, fn in steps:
+        if op in _ELEMENTWISE_OPS:
+            run.append(fn)
+            continue
+        if run:
+            program.append(run[0] if len(run) == 1 else _FusedRun(tuple(run)))
+            run = []
+        program.append(fn)
+    if run:
+        program.append(run[0] if len(run) == 1 else _FusedRun(tuple(run)))
+    return program
+
+
+def _copy_recompute(dst: TapeEntry, src: TapeEntry) -> Callable[[], None]:
+    dst_data, src_data = dst.out.data, src.out.data
+
+    def copy_from_original():
+        np.copyto(dst_data, src_data)
+
+    return copy_from_original
+
+
+def build_forward_program(kept: list[TapeEntry]) -> list[Callable[[], None]]:
+    """Run all passes after pruning; returns the replayable closures.
+
+    Raises :class:`TraceError` if any surviving entry has no recompute
+    (an op the compiler does not know how to replay — fused step-kernel
+    tails, value-dependent ``where``).
+    """
+    elided = elide_views(kept)
+    replaced = eliminate_common_subexpressions(kept, elided)
+    steps: list[tuple[str, Callable[[], None]]] = []
+    for i, entry in enumerate(kept):
+        if i in elided:
+            continue
+        if i in replaced:
+            steps.append((entry.op, _copy_recompute(entry,
+                                                    kept[replaced[i]])))
+            continue
+        if entry.recompute is None:
+            raise TraceError(
+                f"op {entry.op or type(entry.backward).__name__!r} recorded "
+                f"no recompute closure and is not a view — the step cannot "
+                f"be compiled")
+        steps.append((entry.op, entry.recompute))
+    return fuse_elementwise(steps)

@@ -1,0 +1,150 @@
+"""Record one step execution into a linearized tape of primitives.
+
+The tracer installs itself as the tensor module's trace hook, so every
+``Tensor._make`` call — including requires_grad=False constant math,
+which never appears in ``_prev`` and is therefore invisible to the
+autograd graph — lands on the tape in creation order, together with:
+
+* the full parent tuple (the *data-dependency* edges; ``_prev`` is a
+  subset restricted to gradient-requiring paths),
+* the backward closure (the same object ``backward()`` would run),
+* a ``recompute`` closure that refreshes the node's output buffer and
+  any arrays its backward captured (masks, gates) in place from the
+  parents' current data, and
+* the op name and a static-parameter key for CSE.
+
+Creation order is a topological order of the data-dependency graph by
+construction (an op can only consume tensors that already exist), so
+replaying the recomputes in tape order is a valid forward schedule.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable
+
+import numpy as np
+
+from .. import tensor as _tensor
+from ..tensor import Tensor
+
+__all__ = ["TraceError", "TapeEntry", "Tracer", "tracing", "backward_topo"]
+
+
+class TraceError(RuntimeError):
+    """The traced step cannot be replayed; callers fall back to the
+    interpreted path (e.g. an op recorded no recompute closure, or a
+    recompute failed bitwise validation)."""
+
+
+class TapeEntry:
+    """One ``Tensor._make`` call: a node of the traced program."""
+
+    __slots__ = ("out", "parents", "backward", "recompute", "op", "key")
+
+    def __init__(self, out: Tensor, parents: tuple[Tensor, ...],
+                 backward: Callable[[], None] | None,
+                 recompute: Callable[[], None] | None,
+                 op: str, key):
+        self.out = out
+        self.parents = parents
+        self.backward = backward
+        self.recompute = recompute
+        self.op = op
+        self.key = key
+
+
+class Tracer:
+    """Trace hook collecting :class:`TapeEntry` rows in creation order."""
+
+    def __init__(self):
+        self.entries: list[TapeEntry] = []
+        self.index: dict[int, int] = {}  # id(out) -> tape position
+
+    def node_created(self, out: Tensor, parents: tuple[Tensor, ...],
+                     backward, recompute, op: str, key) -> None:
+        self.index[id(out)] = len(self.entries)
+        self.entries.append(
+            TapeEntry(out, parents, backward, recompute, op, key))
+
+    # ------------------------------------------------------------------
+    def position(self, tensor: Tensor) -> int | None:
+        return self.index.get(id(tensor))
+
+    def leaves(self, kept: list[TapeEntry]) -> list[Tensor]:
+        """Parents of kept entries that were not created on the tape —
+        parameters, input lifts and baked constants — deduplicated in
+        first-seen order."""
+        seen: set[int] = set()
+        out: list[Tensor] = []
+        for entry in kept:
+            for parent in entry.parents:
+                if id(parent) in self.index or id(parent) in seen:
+                    continue
+                seen.add(id(parent))
+                out.append(parent)
+        return out
+
+
+@contextlib.contextmanager
+def tracing(tracer: Tracer):
+    """Install ``tracer`` as the global trace hook for the duration."""
+    if _tensor._TRACE_HOOK is not None:
+        raise TraceError("a trace is already active; tapes cannot nest")
+    _tensor._set_trace_hook(tracer)
+    try:
+        yield tracer
+    finally:
+        _tensor._set_trace_hook(None)
+
+
+def backward_topo(loss: Tensor) -> list[Tensor]:
+    """The exact node order ``Tensor.backward()`` would visit.
+
+    This replicates the iterative DFS in :meth:`Tensor.backward` —
+    including its stack discipline — so the replayed backward runs its
+    closures in the *same* order, making gradient accumulation (a chain
+    of float additions, order-sensitive in the last bits) bit-identical
+    to the interpreted path.
+    """
+    topo: list[Tensor] = []
+    visited: set[int] = set()
+    stack: list[tuple[Tensor, bool]] = [(loss, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            topo.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for child in node._prev:
+            if id(child) not in visited:
+                stack.append((child, False))
+    return topo
+
+
+def validate_forward(kept: list[TapeEntry],
+                     forward_ops: list[Callable[[], None]]) -> None:
+    """Replay the forward once with unchanged inputs and require every
+    node's output to match the traced values bit for bit.
+
+    This is the tracer's safety net: a recompute closure whose ``out=``
+    formulation diverged from the op's forward expression (or that
+    forgot to refresh a captured buffer feeding a later node) shows up
+    here as a byte mismatch, and the step falls back to the interpreted
+    path instead of training on silently different numerics.
+    """
+    snapshots = [entry.out.data.copy() for entry in kept]
+    try:
+        for op in forward_ops:
+            op()
+    except Exception as exc:
+        raise TraceError(f"recompute raised during validation: {exc!r}") \
+            from exc
+    for entry, snap in zip(kept, snapshots):
+        if entry.out.data.tobytes() != snap.tobytes():
+            raise TraceError(
+                f"recompute for op {entry.op or '?'!r} is not bit-identical "
+                f"to its traced forward (shape {entry.out.data.shape})")

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, concat
+from .tensor import Tensor, as_tensor, concat, detached
 
 __all__ = [
     "softmax",
@@ -18,10 +18,21 @@ __all__ = [
 ]
 
 
+def _row_max(x: Tensor, axis: int) -> Tensor:
+    """Stop-gradient row maximum for the max-shift trick.
+
+    ``detached`` (rather than a constant ``Tensor(x.data.max(...))``)
+    keeps the shift fresh under a compiled tape — a frozen trace-time
+    maximum would leave the forward mathematically shift-invariant but
+    bitwise divergent from the interpreted path.
+    """
+    return detached(x, lambda data: data.max(axis=axis, keepdims=True))
+
+
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _row_max(x, axis)
     exps = shifted.exp()
     return exps / exps.sum(axis=axis, keepdims=True)
 
@@ -29,7 +40,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
     x = as_tensor(x)
-    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    shifted = x - _row_max(x, axis)
     return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

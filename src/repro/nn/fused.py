@@ -77,8 +77,11 @@ def fused_lstm_step(x, h_prev, c_prev, w_x, w_h, bias):
     matching :class:`~repro.nn.lstm.LSTMCell`.
     """
     x, h_prev, c_prev = as_tensor(x), as_tensor(h_prev), as_tensor(c_prev)
-    gates = x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
-    return _lstm_tail(gates, x, h_prev, c_prev, w_x, w_h, bias)
+
+    def project():
+        return x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
+
+    return _lstm_tail(project, x, h_prev, c_prev, w_x, w_h, bias)
 
 
 def fused_lstm_step_preproj(x_proj, h_prev, c_prev, w_h):
@@ -89,18 +92,25 @@ def fused_lstm_step_preproj(x_proj, h_prev, c_prev, w_h):
     input projection (one big GEMM over all timesteps) receives them.
     """
     x_proj, h_prev, c_prev = as_tensor(x_proj), as_tensor(h_prev), as_tensor(c_prev)
-    gates = x_proj.data + h_prev.data @ w_h.data
-    return _lstm_tail(gates, x_proj, h_prev, c_prev, None, w_h, None)
+
+    def project():
+        return x_proj.data + h_prev.data @ w_h.data
+
+    return _lstm_tail(project, x_proj, h_prev, c_prev, None, w_h, None)
 
 
-def _lstm_tail(gates, x_in, h_prev, c_prev, w_x, w_h, bias):
+def _lstm_tail(project, x_in, h_prev, c_prev, w_x, w_h, bias):
     """Shared forward tail + backward closures for the LSTM kernels.
 
+    ``project()`` produces the gate pre-activations from the parents'
+    *current* payloads — called once here and again by the recompute
+    closures, so a compiled tape replays the step against fresh inputs.
     ``w_x``/``bias`` are None in the pre-projected variant, in which
     case ``x_in`` holds the projected gates and receives the
     pre-activation gradient directly.
     """
     hs = w_h.shape[0]
+    gates = project()
     i = _sigmoid(gates[:, 0 * hs:1 * hs])
     f = _sigmoid(gates[:, 1 * hs:2 * hs])
     g = np.tanh(gates[:, 2 * hs:3 * hs])
@@ -149,15 +159,30 @@ def _lstm_tail(gates, x_in, h_prev, c_prev, w_x, w_h, bias):
         if c_prev.requires_grad:
             c_prev._accumulate(dc * f)
 
+    def recompute_c():
+        fresh = project()
+        np.copyto(i, _sigmoid(fresh[:, 0 * hs:1 * hs]))
+        np.copyto(f, _sigmoid(fresh[:, 1 * hs:2 * hs]))
+        np.copyto(g, np.tanh(fresh[:, 2 * hs:3 * hs]))
+        np.copyto(o, _sigmoid(fresh[:, 3 * hs:4 * hs]))
+        np.multiply(f, c_prev.data, out=c_data)
+        np.add(c_data, i * g, out=c_data)
+
+    def recompute_h():
+        np.tanh(c_data, out=t)
+        np.multiply(o, t, out=h_data)
+
     if preproj:
         c_parents = (x_in, h_prev, c_prev, w_h)
     else:
         c_parents = (x_in, h_prev, c_prev, w_x, w_h, bias)
-    c_out = Tensor._make(c_data, c_parents, backward_c)
+    c_out = Tensor._make(c_data, c_parents, backward_c, recompute_c,
+                         "fused_lstm_step")
     # h consumes c, so reverse-topological order runs backward_h before
     # backward_c: c_out.grad is complete when backward_c fires, and all
     # other inputs are reachable (and ordered after h) through c_out.
-    h_out = Tensor._make(h_data, (c_out,), backward_h)
+    h_out = Tensor._make(h_data, (c_out,), backward_h, recompute_h,
+                         "fused_lstm_step")
     return h_out, c_out
 
 
@@ -181,10 +206,13 @@ def fused_lstm_sequence(x, h0, c0, w_x, w_h, bias):
     dtype = x.data.dtype
     # Time-major (T, B, .) buffers: every per-step slice [t] is
     # contiguous, so GEMMs and in-place ufuncs never touch strided
-    # memory inside the recurrence.
-    x_tb = np.ascontiguousarray(x.data.transpose(1, 0, 2))
+    # memory inside the recurrence.  All buffers are allocated once and
+    # refilled by ``forward_pass`` so a compiled tape can replay the
+    # kernel in place (the backward closure reads these same buffers).
+    x_tb = np.empty((time, batch, feat), dtype=dtype)
     flat = x_tb.reshape(time * batch, feat)
-    proj = (flat @ w_x.data + bias.data).reshape(time, batch, four_hs)
+    proj2d = np.empty((time * batch, four_hs), dtype=dtype)
+    proj = proj2d.reshape(time, batch, four_hs)
     act = np.empty((time, batch, four_hs), dtype=dtype)
     # One extra leading slot holds the initial state, so the backward
     # pass reads h_prev/c_prev as plain slices with no concatenation.
@@ -192,30 +220,37 @@ def fused_lstm_sequence(x, h0, c0, w_x, w_h, bias):
     h_all = np.empty((time + 1, batch, hs), dtype=dtype)
     tc_all = np.empty((time, batch, hs), dtype=dtype)
     scratch = np.empty((batch, hs), dtype=dtype)
-    c_all[0], h_all[0] = c0.data, h0.data
-    h0_zero = not (h0.requires_grad or h0.data.any())
-    h, c = h0.data, c0.data
-    for t in range(time):
-        gates = act[t]
-        if t == 0 and h0_zero:   # h0 is all-zero: skip the recurrent GEMM
-            np.copyto(gates, proj[t])
-        else:
-            np.dot(h, w_h.data, out=gates)
-            gates += proj[t]
-        _sigmoid_inplace(gates[:, 0 * hs:2 * hs])   # input + forget
-        np.tanh(gates[:, 2 * hs:3 * hs], out=gates[:, 2 * hs:3 * hs])
-        _sigmoid_inplace(gates[:, 3 * hs:4 * hs])   # output
-        i = gates[:, 0 * hs:1 * hs]
-        f = gates[:, 1 * hs:2 * hs]
-        g = gates[:, 2 * hs:3 * hs]
-        o = gates[:, 3 * hs:4 * hs]
-        c_new, tc, h_new = c_all[t + 1], tc_all[t], h_all[t + 1]
-        np.multiply(f, c, out=c_new)
-        np.multiply(i, g, out=scratch)
-        c_new += scratch
-        np.tanh(c_new, out=tc)
-        np.multiply(o, tc, out=h_new)
-        h, c = h_new, c_new
+
+    def forward_pass():
+        np.copyto(x_tb, x.data.transpose(1, 0, 2))
+        np.dot(flat, w_x.data, out=proj2d)
+        np.add(proj2d, bias.data, out=proj2d)
+        c_all[0], h_all[0] = c0.data, h0.data
+        h0_zero = not (h0.requires_grad or h0.data.any())
+        h, c = h0.data, c0.data
+        for t in range(time):
+            gates = act[t]
+            if t == 0 and h0_zero:  # h0 all-zero: skip the recurrent GEMM
+                np.copyto(gates, proj[t])
+            else:
+                np.dot(h, w_h.data, out=gates)
+                gates += proj[t]
+            _sigmoid_inplace(gates[:, 0 * hs:2 * hs])   # input + forget
+            np.tanh(gates[:, 2 * hs:3 * hs], out=gates[:, 2 * hs:3 * hs])
+            _sigmoid_inplace(gates[:, 3 * hs:4 * hs])   # output
+            i = gates[:, 0 * hs:1 * hs]
+            f = gates[:, 1 * hs:2 * hs]
+            g = gates[:, 2 * hs:3 * hs]
+            o = gates[:, 3 * hs:4 * hs]
+            c_new, tc, h_new = c_all[t + 1], tc_all[t], h_all[t + 1]
+            np.multiply(f, c, out=c_new)
+            np.multiply(i, g, out=scratch)
+            c_new += scratch
+            np.tanh(c_new, out=tc)
+            np.multiply(o, tc, out=h_new)
+            h, c = h_new, c_new
+
+    forward_pass()
 
     # c_T's backward (which reverse-topological order runs first, since
     # c_T consumes h_seq) stashes its incoming grad here; the sequence
@@ -285,13 +320,25 @@ def fused_lstm_sequence(x, h0, c0, w_x, w_h, bias):
         if c0.requires_grad:
             c0._accumulate(dc)
 
-    h_seq = Tensor._make(np.ascontiguousarray(h_all[1:].transpose(1, 0, 2)),
-                         (x, h0, c0, w_x, w_h, bias), backward_seq)
+    h_seq_data = np.ascontiguousarray(h_all[1:].transpose(1, 0, 2))
+
+    def recompute_seq():
+        forward_pass()
+        np.copyto(h_seq_data, h_all[1:].transpose(1, 0, 2))
+
+    h_seq = Tensor._make(h_seq_data, (x, h0, c0, w_x, w_h, bias),
+                         backward_seq, recompute_seq, "fused_lstm_sequence")
 
     def backward_c_final():
         pending_c.append(c_final.grad)
 
-    c_final = Tensor._make(c_all[-1].copy(), (h_seq,), backward_c_final)
+    c_final_data = c_all[-1].copy()
+
+    def recompute_c_final():
+        np.copyto(c_final_data, c_all[-1])
+
+    c_final = Tensor._make(c_final_data, (h_seq,), backward_c_final,
+                           recompute_c_final, "fused_lstm_sequence")
     return h_seq, h_seq[:, -1, :], c_final
 
 
@@ -305,9 +352,14 @@ def fused_gru_step(x, h_prev, w_x, w_h, bias, w_xc, w_hc, bias_c):
     matching :class:`~repro.nn.gru.GRUCell`.
     """
     x, h_prev = as_tensor(x), as_tensor(h_prev)
-    gates = x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
-    cand_x = x.data @ w_xc.data + bias_c.data
-    return _gru_tail(gates, cand_x, x, h_prev,
+
+    def project_gates():
+        return x.data @ w_x.data + h_prev.data @ w_h.data + bias.data
+
+    def project_cand():
+        return x.data @ w_xc.data + bias_c.data
+
+    return _gru_tail(project_gates, project_cand, x, h_prev,
                      w_x, w_h, bias, w_xc, w_hc, bias_c)
 
 
@@ -319,18 +371,25 @@ def fused_gru_step_preproj(x_proj, cand_proj, h_prev, w_h, w_hc):
     """
     x_proj, cand_proj, h_prev = (as_tensor(x_proj), as_tensor(cand_proj),
                                  as_tensor(h_prev))
-    gates = x_proj.data + h_prev.data @ w_h.data
-    return _gru_tail(gates, cand_proj.data, x_proj, h_prev,
+
+    def project_gates():
+        return x_proj.data + h_prev.data @ w_h.data
+
+    return _gru_tail(project_gates, lambda: cand_proj.data, x_proj, h_prev,
                      None, w_h, None, None, w_hc, None, cand_in=cand_proj)
 
 
-def _gru_tail(gates, cand_x, x_in, h_prev, w_x, w_h, bias,
+def _gru_tail(project_gates, project_cand, x_in, h_prev, w_x, w_h, bias,
               w_xc, w_hc, bias_c, cand_in=None):
+    """Shared GRU tail; the two ``project_*()`` closures rebuild the
+    gate and candidate pre-activations from current parent payloads, so
+    the recompute closure can replay the step under a compiled tape."""
     hs = w_h.shape[0]
+    gates = project_gates()
     r = _sigmoid(gates[:, 0 * hs:1 * hs])
     z = _sigmoid(gates[:, 1 * hs:2 * hs])
     rh = r * h_prev.data
-    n = np.tanh(cand_x + rh @ w_hc.data)
+    n = np.tanh(project_cand() + rh @ w_hc.data)
     h_data = z * h_prev.data + (1.0 - z) * n
     preproj = w_x is None
 
@@ -365,11 +424,21 @@ def _gru_tail(gates, cand_x, x_in, h_prev, w_x, w_h, bias,
         if w_hc.requires_grad:
             w_hc._accumulate(rh.T @ da)
 
+    def recompute():
+        fresh = project_gates()
+        np.copyto(r, _sigmoid(fresh[:, 0 * hs:1 * hs]))
+        np.copyto(z, _sigmoid(fresh[:, 1 * hs:2 * hs]))
+        np.multiply(r, h_prev.data, out=rh)
+        np.copyto(n, np.tanh(project_cand() + rh @ w_hc.data))
+        np.multiply(z, h_prev.data, out=h_data)
+        np.add(h_data, (1.0 - z) * n, out=h_data)
+
     if preproj:
         parents = (x_in, cand_in, h_prev, w_h, w_hc)
     else:
         parents = (x_in, h_prev, w_x, w_h, bias, w_xc, w_hc, bias_c)
-    h_out = Tensor._make(h_data, parents, backward)
+    h_out = Tensor._make(h_data, parents, backward, recompute,
+                         "fused_gru_step")
     return h_out
 
 
@@ -391,34 +460,47 @@ def fused_gru_sequence(x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c):
     dtype = x.data.dtype
     # Time-major (T, B, .) layout, as in fused_lstm_sequence: per-step
     # slices are contiguous for the in-loop GEMMs and in-place ufuncs.
-    x_tb = np.ascontiguousarray(x.data.transpose(1, 0, 2))
+    # Buffers are allocated once and refilled by ``forward_pass`` so a
+    # compiled tape can replay the kernel in place.
+    x_tb = np.empty((time, batch, feat), dtype=dtype)
     flat = x_tb.reshape(time * batch, feat)
-    proj_g = (flat @ w_x.data + bias.data).reshape(time, batch, two_hs)
-    proj_c = (flat @ w_xc.data + bias_c.data).reshape(time, batch, hs)
+    proj_g2d = np.empty((time * batch, two_hs), dtype=dtype)
+    proj_g = proj_g2d.reshape(time, batch, two_hs)
+    proj_c2d = np.empty((time * batch, hs), dtype=dtype)
+    proj_c = proj_c2d.reshape(time, batch, hs)
     gate_all = np.empty((time, batch, two_hs), dtype=dtype)
     n_all = np.empty((time, batch, hs), dtype=dtype)
     # Extra leading slot holds h0 so backward reads h_prev as a slice.
     h_all = np.empty((time + 1, batch, hs), dtype=dtype)
     scratch = np.empty((batch, hs), dtype=dtype)
-    h_all[0] = h0.data
-    h = h0.data
-    for t in range(time):
-        gates = gate_all[t]
-        np.dot(h, w_h.data, out=gates)
-        gates += proj_g[t]
-        _sigmoid_inplace(gates)                  # reset + update
-        r = gates[:, 0 * hs:1 * hs]
-        z = gates[:, 1 * hs:2 * hs]
-        n, h_new = n_all[t], h_all[t + 1]
-        np.multiply(r, h, out=scratch)
-        np.dot(scratch, w_hc.data, out=n)
-        n += proj_c[t]
-        np.tanh(n, out=n)
-        np.multiply(z, h, out=h_new)
-        np.subtract(1.0, z, out=scratch)
-        scratch *= n
-        h_new += scratch
-        h = h_new
+
+    def forward_pass():
+        np.copyto(x_tb, x.data.transpose(1, 0, 2))
+        np.dot(flat, w_x.data, out=proj_g2d)
+        np.add(proj_g2d, bias.data, out=proj_g2d)
+        np.dot(flat, w_xc.data, out=proj_c2d)
+        np.add(proj_c2d, bias_c.data, out=proj_c2d)
+        h_all[0] = h0.data
+        h = h0.data
+        for t in range(time):
+            gates = gate_all[t]
+            np.dot(h, w_h.data, out=gates)
+            gates += proj_g[t]
+            _sigmoid_inplace(gates)                  # reset + update
+            r = gates[:, 0 * hs:1 * hs]
+            z = gates[:, 1 * hs:2 * hs]
+            n, h_new = n_all[t], h_all[t + 1]
+            np.multiply(r, h, out=scratch)
+            np.dot(scratch, w_hc.data, out=n)
+            n += proj_c[t]
+            np.tanh(n, out=n)
+            np.multiply(z, h, out=h_new)
+            np.subtract(1.0, z, out=scratch)
+            np.multiply(scratch, n, out=scratch)
+            h_new += scratch
+            h = h_new
+
+    forward_pass()
 
     def backward_seq():
         # Same zero-allocation reverse loop as fused_lstm_sequence.
@@ -486,7 +568,13 @@ def fused_gru_sequence(x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c):
         if h0.requires_grad:
             h0._accumulate(carry)
 
+    h_seq_data = np.ascontiguousarray(h_all[1:].transpose(1, 0, 2))
+
+    def recompute_seq():
+        forward_pass()
+        np.copyto(h_seq_data, h_all[1:].transpose(1, 0, 2))
+
     h_seq = Tensor._make(
-        np.ascontiguousarray(h_all[1:].transpose(1, 0, 2)),
-        (x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c), backward_seq)
+        h_seq_data, (x, h0, w_x, w_h, bias, w_xc, w_hc, bias_c),
+        backward_seq, recompute_seq, "fused_gru_sequence")
     return h_seq, h_seq[:, -1, :]

@@ -31,6 +31,7 @@ __all__ = [
     "where",
     "maximum",
     "minimum",
+    "detached",
     "set_default_dtype",
     "get_default_dtype",
     "default_dtype",
@@ -53,6 +54,15 @@ _PROFILE_HOOK = None
 # backward closure run is followed by a gradient check on its parents.
 _ANOMALY_HOOK = None
 
+# Optional tape tracer (see repro.nn.compile).  When set, every node
+# built by ``Tensor._make`` is reported together with its *full* parent
+# tuple (``_prev`` only exists on requires-grad nodes, so a tracer
+# cannot reconstruct data dependencies from the autograd graph alone)
+# and an optional ``recompute`` closure that refreshes the node's output
+# buffer — and any arrays its backward closure captured — in place from
+# its parents' current data.
+_TRACE_HOOK = None
+
 # Sentinel installed in ``_backward`` once a graph has been released by
 # ``backward(retain_graph=False)``; distinguishes "freed" from "leaf".
 _FREED_GRAPH = object()
@@ -66,6 +76,11 @@ def _set_profile_hook(hook) -> None:
 def _set_anomaly_hook(hook) -> None:
     global _ANOMALY_HOOK
     _ANOMALY_HOOK = hook
+
+
+def _set_trace_hook(hook) -> None:
+    global _TRACE_HOOK
+    _TRACE_HOOK = hook
 
 
 @contextlib.contextmanager
@@ -218,7 +233,10 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad.astype(self.data.dtype, copy=False))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.copyto(out_data, self.data, casting="same_kind")
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "astype")
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -329,7 +347,21 @@ class Tensor:
 
     @staticmethod
     def _make(data: np.ndarray, parents: Sequence["Tensor"],
-              backward: Callable[[], None] | None) -> "Tensor":
+              backward: Callable[[], None] | None,
+              recompute: Callable[[], None] | None = None,
+              op: str = "", key=None) -> "Tensor":
+        """Build a graph node.
+
+        ``recompute``, ``op`` and ``key`` only matter under an active
+        trace (see :mod:`repro.nn.compile`): ``recompute`` refreshes the
+        node's output buffer in place from its parents' current data,
+        ``op`` names the primitive and ``key`` captures its static
+        parameters (scalar operand, reduction axis, ...) for
+        common-subexpression elimination.  A node created without a
+        ``recompute`` while a tracer is installed makes the tape
+        untraceable (unless it is a view of a parent), which the tracer
+        turns into a fallback to the interpreted path.
+        """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
@@ -337,6 +369,9 @@ class Tensor:
             out._backward = backward
             if _PROFILE_HOOK is not None:
                 _PROFILE_HOOK.record_node(backward)
+        if _TRACE_HOOK is not None:
+            _TRACE_HOOK.node_created(out, tuple(parents), backward,
+                                     recompute, op, key)
         if _ANOMALY_HOOK is not None:
             _ANOMALY_HOOK.node_created(out, backward, parents)
         return out
@@ -350,16 +385,20 @@ class Tensor:
             # the payload keeps float32 graphs in float32, where wrapping
             # the scalar in a float64 0-d Tensor would silently upcast.
             scalar = float(other)
-            out_data = self.data + scalar
+            out_data = np.asarray(self.data + scalar)
 
             def backward():
                 if self.requires_grad:
                     self._accumulate(out.grad)
 
-            out = Tensor._make(out_data, (self,), backward)
+            def recompute():
+                np.add(self.data, scalar, out=out_data)
+
+            out = Tensor._make(out_data, (self,), backward, recompute,
+                               "add", scalar)
             return out
         other = as_tensor(other)
-        out_data = self.data + other.data
+        out_data = np.asarray(self.data + other.data)
 
         def backward():
             if self.requires_grad:
@@ -367,7 +406,11 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(out.grad, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        def recompute():
+            np.add(self.data, other.data, out=out_data)
+
+        out = Tensor._make(out_data, (self, other), backward, recompute,
+                           "add")
         return out
 
     __radd__ = __add__
@@ -375,16 +418,20 @@ class Tensor:
     def __mul__(self, other) -> "Tensor":
         if isinstance(other, (int, float)):
             scalar = float(other)
-            out_data = self.data * scalar
+            out_data = np.asarray(self.data * scalar)
 
             def backward():
                 if self.requires_grad:
                     self._accumulate(out.grad * scalar)
 
-            out = Tensor._make(out_data, (self,), backward)
+            def recompute():
+                np.multiply(self.data, scalar, out=out_data)
+
+            out = Tensor._make(out_data, (self,), backward, recompute,
+                               "mul", scalar)
             return out
         other = as_tensor(other)
-        out_data = self.data * other.data
+        out_data = np.asarray(self.data * other.data)
 
         def backward():
             if self.requires_grad:
@@ -392,7 +439,11 @@ class Tensor:
             if other.requires_grad:
                 other._accumulate(_unbroadcast(out.grad * self.data, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        def recompute():
+            np.multiply(self.data, other.data, out=out_data)
+
+        out = Tensor._make(out_data, (self, other), backward, recompute,
+                           "mul")
         return out
 
     __rmul__ = __mul__
@@ -423,85 +474,121 @@ class Tensor:
 
     def __pow__(self, exponent: float) -> "Tensor":
         exponent = float(exponent)
-        out_data = self.data ** exponent
+        out_data = np.asarray(self.data ** exponent)
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * exponent * self.data ** (exponent - 1.0))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.power(self.data, exponent, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "pow", exponent)
         return out
 
     # ------------------------------------------------------------------
     # Transcendental functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
+        out_data = np.asarray(np.exp(self.data))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * out_data)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.exp(self.data, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "exp")
         return out
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
+        out_data = np.asarray(np.log(self.data))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad / self.data)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.log(self.data, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "log")
         return out
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
+        out_data = np.asarray(np.tanh(self.data))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * (1.0 - out_data ** 2))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.tanh(self.data, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "tanh")
         return out
 
     def sigmoid(self) -> "Tensor":
-        out_data = 1.0 / (1.0 + np.exp(-self.data))
+        out_data = np.asarray(1.0 / (1.0 + np.exp(-self.data)))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * out_data * (1.0 - out_data))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # Same chain as the forward expression, fused in place:
+            # exp(-x), +1, then true division (bit-identical to 1.0/y).
+            np.negative(self.data, out=out_data)
+            np.exp(out_data, out=out_data)
+            np.add(out_data, 1.0, out=out_data)
+            np.divide(1.0, out_data, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "sigmoid")
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
+        mask = np.asarray(self.data > 0)
         out_data = np.where(mask, self.data, 0.0)
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * mask)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # Refresh the captured mask too — backward reads it.  The
+            # fill-then-masked-copy matches np.where(mask, x, 0.0) bit
+            # for bit (x * mask would turn negatives into -0.0).
+            np.greater(self.data, 0, out=mask)
+            np.copyto(out_data, 0.0)
+            np.copyto(out_data, self.data, where=mask)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "relu")
         return out
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        mask = self.data > 0
+        mask = np.asarray(self.data > 0)
         # np.where over two python floats yields float64; cast back so a
         # float32 graph is not silently promoted.
         scale = np.where(mask, 1.0, negative_slope).astype(
             self.data.dtype, copy=False)
-        out_data = self.data * scale
+        out_data = np.asarray(self.data * scale)
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * scale)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.greater(self.data, 0, out=mask)
+            np.copyto(scale, 1.0)
+            np.copyto(scale, negative_slope, where=~mask)
+            np.multiply(self.data, scale, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "leaky_relu", negative_slope)
         return out
 
     def gelu(self) -> "Tensor":
@@ -511,45 +598,63 @@ class Tensor:
         c = float(np.sqrt(2.0 / np.pi))
         x = self.data
         inner = c * (x + 0.044715 * x ** 3)
-        t = np.tanh(inner)
-        out_data = 0.5 * x * (1.0 + t)
+        t = np.asarray(np.tanh(inner))
+        out_data = np.asarray(0.5 * x * (1.0 + t))
 
         def backward():
             if self.requires_grad:
                 dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * x ** 2)
                 self._accumulate(out.grad * (0.5 * (1.0 + t) + 0.5 * x * dt))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # t is captured by backward; refresh it in place.  The final
+            # product keeps the forward's (0.5*x) * (1+t) pairing.
+            np.tanh(c * (x + 0.044715 * x ** 3), out=t)
+            np.multiply(0.5 * x, 1.0 + t, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "gelu")
         return out
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         """Clamp values; gradient passes only inside the interval."""
-        mask = (self.data >= lo) & (self.data <= hi)
-        out_data = np.clip(self.data, lo, hi)
+        mask = np.asarray((self.data >= lo) & (self.data <= hi))
+        out_data = np.asarray(np.clip(self.data, lo, hi))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * mask)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # ``mask &= ...`` would rebind the closure-captured name and
+            # raise UnboundLocalError; write through ``out=`` instead.
+            np.greater_equal(self.data, lo, out=mask)
+            np.logical_and(mask, self.data <= hi, out=mask)
+            np.clip(self.data, lo, hi, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "clip", (lo, hi))
         return out
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out_data = np.abs(self.data)
+        sign = np.asarray(np.sign(self.data))
+        out_data = np.asarray(np.abs(self.data))
 
         def backward():
             if self.requires_grad:
                 self._accumulate(out.grad * sign)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.sign(self.data, out=sign)
+            np.abs(self.data, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute, "abs")
         return out
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        out_data = np.asarray(self.data.sum(axis=axis, keepdims=keepdims))
 
         def backward():
             if self.requires_grad:
@@ -558,7 +663,11 @@ class Tensor:
                     grad = np.expand_dims(grad, axis)
                 self._accumulate(np.broadcast_to(grad, self.shape).copy())
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            self.data.sum(axis=axis, keepdims=keepdims, out=out_data)
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "sum", (axis, keepdims))
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -571,7 +680,10 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out_data = np.asarray(self.data.max(axis=axis, keepdims=keepdims))
+
+        def recompute():
+            self.data.max(axis=axis, keepdims=keepdims, out=out_data)
 
         def backward():
             if self.requires_grad:
@@ -586,7 +698,8 @@ class Tensor:
                     else mask.sum()
                 self._accumulate(grad * mask / counts)
 
-        out = Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "max", (axis, keepdims))
         return out
 
     # ------------------------------------------------------------------
@@ -601,7 +714,13 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad.reshape(self.shape))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # Usually a view (elided by the tracer); the copy branch only
+            # runs when reshape had to copy a non-contiguous payload.
+            np.copyto(out_data, self.data.reshape(shape))
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "reshape", tuple(shape))
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -616,7 +735,11 @@ class Tensor:
             if self.requires_grad:
                 self._accumulate(out.grad.transpose(inverse))
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            np.copyto(out_data, self.data.transpose(axes))
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "transpose", tuple(axes))
         return out
 
     @property
@@ -624,7 +747,7 @@ class Tensor:
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
+        out_data = np.asarray(self.data[index])
         basic = _is_basic_index(index)
 
         def backward():
@@ -638,7 +761,15 @@ class Tensor:
                 else:
                     np.add.at(self.grad, index, out.grad)
 
-        out = Tensor._make(out_data, (self,), backward)
+        def recompute():
+            # Advanced indexing copies; ``index`` array operands are
+            # captured by reference, so callers refreshing them in place
+            # (compiled input buffers) re-gather the right rows.  Basic
+            # (view) indexing is elided by the tracer.
+            out_data[...] = self.data[index]
+
+        out = Tensor._make(out_data, (self,), backward, recompute,
+                           "getitem")
         return out
 
     # ------------------------------------------------------------------
@@ -646,7 +777,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other = as_tensor(other)
-        out_data = self.data @ other.data
+        out_data = np.asarray(self.data @ other.data)
 
         def backward():
             if self.requires_grad:
@@ -667,7 +798,14 @@ class Tensor:
                     grad = np.swapaxes(self.data, -1, -2) @ out.grad
                 other._accumulate(_unbroadcast(grad, other.shape))
 
-        out = Tensor._make(out_data, (self, other), backward)
+        def recompute():
+            if out_data.ndim == 0:
+                out_data[...] = self.data @ other.data
+            else:
+                np.matmul(self.data, other.data, out=out_data)
+
+        out = Tensor._make(out_data, (self, other), backward, recompute,
+                           "matmul")
         return out
 
     def __matmul__(self, other) -> "Tensor":
@@ -710,7 +848,11 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(out.grad[tuple(slicer)])
 
-    out = Tensor._make(out_data, tuple(tensors), backward)
+    def recompute():
+        np.concatenate([t.data for t in tensors], axis=axis, out=out_data)
+
+    out = Tensor._make(out_data, tuple(tensors), backward, recompute,
+                       "concat", axis)
     return out
 
 
@@ -724,7 +866,11 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             if tensor.requires_grad:
                 tensor._accumulate(np.take(out.grad, i, axis=axis))
 
-    out = Tensor._make(out_data, tuple(tensors), backward)
+    def recompute():
+        np.stack([t.data for t in tensors], axis=axis, out=out_data)
+
+    out = Tensor._make(out_data, tuple(tensors), backward, recompute,
+                       "stack", axis)
     return out
 
 
@@ -738,7 +884,14 @@ def _split_piece(tensor: Tensor, slicer: tuple) -> Tensor:
             tensor._init_grad()
             tensor.grad[slicer] += out.grad
 
-    out = Tensor._make(tensor.data[slicer], (tensor,), backward)
+    out_data = tensor.data[slicer]
+
+    def recompute():
+        # A view of the parent — the tracer elides this, but keep the
+        # self-copy so a non-view (never the case today) stays correct.
+        out_data[...] = tensor.data[slicer]
+
+    out = Tensor._make(out_data, (tensor,), backward, recompute, "split")
     return out
 
 
@@ -785,12 +938,19 @@ def chunk(tensor: Tensor, chunks: int, axis: int = -1) -> list[Tensor]:
 
 
 def where(condition, a, b) -> Tensor:
-    """Elementwise select: gradient flows to the chosen branch."""
+    """Elementwise select: gradient flows to the chosen branch.
+
+    The condition is captured as a static array: under a compiled tape
+    it is **not** refreshed on replay, so traced programs must only pass
+    conditions that are constant per tape (input-buffer masks, shape-
+    derived masks).  :func:`maximum`/:func:`minimum` derive their
+    condition from tensor *values* and re-evaluate it on every replay.
+    """
     if isinstance(condition, Tensor):
         condition = condition.data
     cond = np.asarray(condition, dtype=bool)
     a, b = as_tensor(a), as_tensor(b)
-    out_data = np.where(cond, a.data, b.data)
+    out_data = np.asarray(np.where(cond, a.data, b.data))
 
     def backward():
         if a.requires_grad:
@@ -798,17 +958,75 @@ def where(condition, a, b) -> Tensor:
         if b.requires_grad:
             b._accumulate(_unbroadcast(out.grad * ~cond, b.shape))
 
-    out = Tensor._make(out_data, (a, b), backward)
+    def recompute():
+        out_data[...] = np.where(cond, a.data, b.data)
+
+    out = Tensor._make(out_data, (a, b), backward, recompute, "where")
+    return out
+
+
+def _value_dependent_where(compare: Callable[[], np.ndarray], a: Tensor,
+                           b: Tensor) -> Tensor:
+    """``where`` whose condition derives from tensor *values*.
+
+    The condition buffer is refreshed inside the recompute closure, so a
+    replayed tape re-evaluates ``compare()`` against the parents'
+    current payloads instead of freezing the trace-time mask — the
+    backward closure reads the same (mutated-in-place) buffer and stays
+    consistent with whichever forward ran last.
+    """
+    cond = np.asarray(compare())
+    out_data = np.asarray(np.where(cond, a.data, b.data))
+
+    def backward():
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(out.grad * cond, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(out.grad * ~cond, b.shape))
+
+    def recompute():
+        cond[...] = compare()
+        out_data[...] = np.where(cond, a.data, b.data)
+
+    # Same primitive as ``where`` for the profiler / lint / fuzz registry
+    # (op names derive from the closure's qualname).
+    backward.__qualname__ = "where.<locals>.backward"
+    out = Tensor._make(out_data, (a, b), backward, recompute, "where")
     return out
 
 
 def maximum(a, b) -> Tensor:
     """Elementwise max of two tensors (ties send gradient to ``a``)."""
     a, b = as_tensor(a), as_tensor(b)
-    return where(a.data >= b.data, a, b)
+    return _value_dependent_where(lambda: a.data >= b.data, a, b)
 
 
 def minimum(a, b) -> Tensor:
     """Elementwise min of two tensors (ties send gradient to ``a``)."""
     a, b = as_tensor(a), as_tensor(b)
-    return where(a.data <= b.data, a, b)
+    return _value_dependent_where(lambda: a.data <= b.data, a, b)
+
+
+def detached(x, fn: Callable[[np.ndarray], np.ndarray]) -> Tensor:
+    """A traced stop-gradient node: ``fn(x.data)`` with no gradient.
+
+    Numerically identical to the ``Tensor(fn(x.data))`` constant idiom
+    (softmax's max-shift, logsumexp guards), but recorded as a graph
+    node whose forward re-runs ``fn`` — so a compiled tape refreshes the
+    value on every replay instead of freezing the trace-time constant.
+    ``fn`` must be a pure function of the payload.  Inside
+    :func:`no_grad` this degrades to a plain constant.
+    """
+    x = as_tensor(x)
+    out_data = np.asarray(fn(x.data))
+
+    def backward():
+        # Stop-gradient: consumers may accumulate into this node, but
+        # nothing flows to ``x``.
+        pass
+
+    def recompute():
+        np.copyto(out_data, fn(x.data))
+
+    out = Tensor._make(out_data, (x,), backward, recompute, "detached")
+    return out

@@ -63,6 +63,11 @@ class MicroBatcher:
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._on_batch = on_batch
         self._closed = False
+        # Serialises submit against close: without it a submit that
+        # passes the _closed check while close() runs can enqueue after
+        # the shutdown sentinel — the worker is already gone and the
+        # drain may have finished, so that future never resolves.
+        self._lock = threading.Lock()
         self._worker = threading.Thread(target=self._run,
                                         name="repro-serve-batcher",
                                         daemon=True)
@@ -75,25 +80,34 @@ class MicroBatcher:
         return self._queue.qsize()
 
     def submit(self, item: Any) -> "Future":
-        """Enqueue one item; returns the future of its result."""
-        if self._closed:
-            raise RuntimeError("batcher is closed")
-        future: Future = Future()
-        try:
-            self._queue.put_nowait((item, future))
-        except queue.Full:
-            raise QueueFullError(
-                f"micro-batch queue is at capacity "
-                f"({self._queue.maxsize} pending)"
-            ) from None
+        """Enqueue one item; returns the future of its result.
+
+        Raises ``RuntimeError`` once :meth:`close` has begun — the
+        check-and-enqueue is atomic with respect to close, so a
+        submission either lands before the shutdown sentinel (and is
+        drained/failed by close) or is rejected here; it can never
+        enqueue behind the sentinel and hang forever.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("batcher is closed")
+            future: Future = Future()
+            try:
+                self._queue.put_nowait((item, future))
+            except queue.Full:
+                raise QueueFullError(
+                    f"micro-batch queue is at capacity "
+                    f"({self._queue.maxsize} pending)"
+                ) from None
         return future
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the worker; pending submissions fail with RuntimeError."""
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put((None, None))  # wake the worker
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put((None, None))  # wake the worker
         self._worker.join(timeout=timeout)
         while True:
             try:

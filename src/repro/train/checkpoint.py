@@ -102,10 +102,29 @@ class CheckpointManager:
         try:
             with open(tmp, "wb") as fh:
                 np.savez(fh, **payload)
+                # Flush the payload to stable storage *before* the
+                # rename: os.replace only orders the directory entry,
+                # so an unsynced temp file can survive a power loss as
+                # a zero-length "committed" snapshot.
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, target)
-        finally:
-            if tmp.exists():
+        except BaseException:
+            # Best-effort cleanup that must never mask the original
+            # failure (the unlink itself can raise, e.g. ENOENT after
+            # a concurrent clear, or EACCES on a read-only mount).
+            try:
                 tmp.unlink()
+            except OSError:
+                pass
+            raise
+        # Make the rename itself durable: fsync the parent directory so
+        # the new entry survives a crash of the whole machine.
+        dir_fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         return target
 
     def load(self, tag: str) -> dict | None:

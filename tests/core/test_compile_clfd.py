@@ -1,0 +1,86 @@
+"""Compiled training must be bit-identical to interpreted training.
+
+The compile flag is a pure performance knob: for every model that
+trains through ``StepProgram`` steps — all four CLFD phases, both
+co-teaching correctors, the baselines — flipping it must change
+nothing observable except wall-clock and the ``compile-trace`` journal
+events.  These tests fit each model twice (interpreted vs compiled)
+from identical seeds and require SHA-256-equal parameters, equal
+corrected labels, equal predictions, and equal deterministic journal
+views.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CLFD, CLFDConfig, CoTeachingCLFD, model_fingerprint
+from repro.train import TrainRun, deterministic_entries, read_journal
+from tests.train.conftest import TINY
+
+
+def _fit_pair(factory, tiny_data, tmp_path, seed=5):
+    """Fit the same model interpreted and compiled; return both plus
+    the compiled run's journal path."""
+    out = {}
+    for mode, compile_flag in (("interp", False), ("compiled", True)):
+        root = tmp_path / mode
+        run = TrainRun(root / "ckpt", root / "journal.jsonl",
+                       compile=compile_flag)
+        model = factory()
+        model.fit(tiny_data[0], rng=np.random.default_rng(seed), run=run)
+        out[mode] = (model, root / "journal.jsonl")
+    return out["interp"], out["compiled"]
+
+
+@pytest.fixture(scope="module")
+def clfd_pair(tiny_data, tmp_path_factory):
+    return _fit_pair(lambda: CLFD(CLFDConfig(**TINY)), tiny_data,
+                     tmp_path_factory.mktemp("clfd_compile"))
+
+
+def test_clfd_compiled_params_bit_identical(clfd_pair):
+    (interp, _), (compiled, _) = clfd_pair
+    assert model_fingerprint(compiled) == model_fingerprint(interp)
+    np.testing.assert_array_equal(compiled.corrected_labels,
+                                  interp.corrected_labels)
+    np.testing.assert_array_equal(compiled.confidences,
+                                  interp.confidences)
+
+
+def test_clfd_compiled_predictions_bit_identical(clfd_pair, tiny_data):
+    (interp, _), (compiled, _) = clfd_pair
+    np.testing.assert_array_equal(compiled.predict_proba(tiny_data[1]),
+                                  interp.predict_proba(tiny_data[1]))
+
+
+def test_clfd_compiled_journal_deterministic_view_matches(clfd_pair):
+    (_, journal_i), (_, journal_c) = clfd_pair
+    assert deterministic_entries(journal_c) == \
+        deterministic_entries(journal_i)
+
+
+def test_all_four_phases_actually_compiled(clfd_pair):
+    """Every CLFD training phase must trace (once) and never fall back:
+    a phase silently running interpreted would still pass bit-identity,
+    so pin the journal events down."""
+    (_, _), (_, journal_c) = clfd_pair
+    events = [e for e in read_journal(journal_c) if "event" in e]
+    traced = {e["phase"] for e in events if e["event"] == "compile-trace"}
+    assert {"corrector/ssl", "corrector/head", "detector/supcon",
+            "detector/head"} <= traced
+    assert [e for e in events if e["event"] == "compile-fallback"] == []
+    assert [e for e in events if e["event"] == "compile-unsupported"] == []
+
+
+def test_co_teaching_compiled_bit_identical(tiny_data, tmp_path):
+    (interp, _), (compiled, journal_c) = _fit_pair(
+        lambda: CoTeachingCLFD(CLFDConfig(**TINY)), tiny_data, tmp_path)
+    assert model_fingerprint(compiled) == model_fingerprint(interp)
+    np.testing.assert_array_equal(compiled.predict_proba(tiny_data[1]),
+                                  interp.predict_proba(tiny_data[1]))
+    events = [e for e in read_journal(journal_c) if "event" in e]
+    # Both correctors' SSL phases compiled, no fallbacks anywhere.
+    traced = {e["phase"] for e in events if e["event"] == "compile-trace"}
+    assert any(p.startswith("coteach") and p.endswith("ssl")
+               for p in traced), traced
+    assert [e for e in events if e["event"] == "compile-fallback"] == []

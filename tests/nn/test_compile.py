@@ -1,0 +1,223 @@
+"""The trace-once/replay executor: tape cache, fallbacks, bit-identity.
+
+The contract under test (DESIGN.md §12): a compiled ``StepProgram``
+replays exactly the arithmetic the interpreted path would run — same
+closures, same order, same buffers-worth of values — so losses and
+parameters stay bit-identical; anything the compiler cannot prove safe
+falls back to the interpreted path and says so in the journal.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.debug import lint_graph
+from repro.train import MetricJournal
+
+
+def _fingerprint(module):
+    import hashlib
+    digest = hashlib.sha256()
+    for key, value in sorted(module.state_dict().items()):
+        digest.update(key.encode())
+        digest.update(value.tobytes())
+    return digest.hexdigest()
+
+
+def _mlp(rng):
+    lin1 = nn.Linear(6, 8, rng)
+    lin2 = nn.Linear(8, 2, rng)
+
+    class Pair(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.lin1, self.lin2 = lin1, lin2
+
+        def forward(self, x):
+            return self.lin2(self.lin1(x).tanh())
+
+    return Pair()
+
+
+def _step(model):
+    def prepare(arrays):
+        return arrays
+
+    def program(x, target):
+        out = model(Tensor(x))
+        return ((out - Tensor(target)) ** 2).sum()
+
+    return nn.StepProgram(prepare, program)
+
+
+def _batches(n, rows=5, seed=0, dtype=np.float64):
+    rng = np.random.default_rng(seed)
+    return [(rng.normal(size=(rows, 6)).astype(dtype),
+             rng.normal(size=(rows, 2)).astype(dtype)) for _ in range(n)]
+
+
+def test_replay_is_bit_identical_to_interpreted():
+    batches = _batches(12)
+    model_i = _mlp(np.random.default_rng(3))
+    model_c = _mlp(np.random.default_rng(3))
+    opt_i = nn.Adam(model_i.parameters(), lr=1e-2)
+    opt_c = nn.Adam(model_c.parameters(), lr=1e-2)
+    step_i = _step(model_i)
+    compiled = nn.compile_step(_step(model_c))
+
+    for arrays in batches:
+        loss_i = step_i(arrays)
+        opt_i.zero_grad()
+        loss_i.backward()
+        opt_i.step()
+        loss_c = compiled.step_and_backward(arrays, opt_c)
+        opt_c.step()
+        assert loss_i.data.tobytes() == loss_c.data.tobytes()
+    assert compiled.traces == 1
+    assert compiled.replays == len(batches) - 1
+    assert _fingerprint(model_i) == _fingerprint(model_c)
+
+
+def test_retrace_on_shape_and_dtype_change():
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    compiled = nn.compile_step(_step(model))
+
+    compiled.step_and_backward(_batches(1, rows=5)[0], opt)
+    opt.step()
+    compiled.step_and_backward(_batches(1, rows=7)[0], opt)  # new shape
+    opt.step()
+    assert compiled.traces == 2
+    # Both signatures replay from their own tapes now.
+    compiled.step_and_backward(_batches(1, rows=5, seed=9)[0], opt)
+    opt.step()
+    compiled.step_and_backward(_batches(1, rows=7, seed=9)[0], opt)
+    opt.step()
+    assert compiled.traces == 2 and compiled.replays == 2
+
+
+def test_retrace_after_load_state_dict_rebinds_leaves():
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    compiled = nn.compile_step(_step(model))
+    batches = _batches(3)
+    compiled.step_and_backward(batches[0], opt)
+    opt.step()
+    compiled.step_and_backward(batches[1], opt)
+    opt.step()
+    assert (compiled.traces, compiled.replays) == (1, 1)
+
+    # load_state_dict swaps the parameter payload arrays out from under
+    # the tape's captured closures — the stale tape must be discarded.
+    state = {k: v.copy() for k, v in model.state_dict().items()}
+    model.load_state_dict(state)
+    compiled.step_and_backward(batches[2], opt)
+    opt.step()
+    assert compiled.traces == 2
+
+
+def test_untraceable_op_falls_back_and_journals(tmp_path):
+    journal = MetricJournal(tmp_path / "journal.jsonl")
+    rng = np.random.default_rng(0)
+    weight = Tensor(rng.normal(size=(6, 2)), requires_grad=True)
+    opt = nn.Adam([weight], lr=1e-2)
+
+    def opaque_matmul(x):
+        """An op recorded without a recompute closure (third-party
+        style): traceable graphs cannot replay it."""
+        data = x.data @ weight.data
+
+        def backward():
+            weight._accumulate(x.data.T @ out.grad)
+
+        out = Tensor._make(data, (x, weight), backward)
+        return out
+
+    def program(x):
+        return opaque_matmul(Tensor(x)).sum()
+
+    compiled = nn.compile_step(nn.StepProgram(lambda b: (b,), program),
+                               journal=journal, scope="test")
+    x = np.random.default_rng(1).normal(size=(4, 6))
+    loss = compiled.step_and_backward(x, opt)
+    opt.step()
+    assert compiled.disabled
+    assert loss is not None and weight.grad is not None
+    events = [e for e in journal.entries() if e.get("event")]
+    assert any(e["event"] == "compile-fallback" for e in events)
+    # Disabled executors keep training through the interpreted path.
+    compiled.step_and_backward(x, opt)
+    opt.step()
+
+
+def test_non_stepprogram_is_rejected():
+    with pytest.raises(TypeError, match="StepProgram"):
+        nn.compile_step(lambda batch: None)
+
+
+def test_prepare_returning_none_skips_batch():
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    step = nn.StepProgram(lambda b: None, lambda *a: None)
+    compiled = nn.compile_step(step)
+    assert compiled.step_and_backward(object(), opt) is None
+    assert compiled.traces == 0
+
+
+def test_tape_owns_its_input_buffers():
+    """Regression: tracing directly on views into caller-owned storage
+    let every replay's ``bind_inputs`` copy write the new batch back
+    into the dataset (``np.ascontiguousarray`` of a contiguous slice is
+    a no-op view), silently corrupting later epochs."""
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    data = np.random.default_rng(1).normal(size=(4, 5, 6))
+    targets = np.random.default_rng(2).normal(size=(4, 5, 2))
+    before = data.copy(), targets.copy()
+
+    # prepare returns *views* into the dataset — the worst case.
+    step = nn.StepProgram(lambda i: (np.ascontiguousarray(data[i]),
+                                     np.ascontiguousarray(targets[i])),
+                          _step(model).program)
+    compiled = nn.compile_step(step)
+    for epoch in range(2):
+        for i in range(4):
+            compiled.step_and_backward(i, opt)
+            opt.step()
+    assert compiled.replays > 0
+    np.testing.assert_array_equal(data, before[0])
+    np.testing.assert_array_equal(targets, before[1])
+
+
+def test_lint_graph_accepts_replayed_tape():
+    """The debug toolkit must see through replayed tapes: the loss a
+    replay returns still carries the full retained graph, so the graph
+    lint walks it exactly like an interpreted loss."""
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    compiled = nn.compile_step(_step(model))
+    batches = _batches(3)
+    loss = None
+    for arrays in batches:
+        loss = compiled.step_and_backward(arrays, opt)
+        opt.step()
+    assert compiled.replays == 2
+    issues = lint_graph(loss, model.parameters())
+    assert [i for i in issues if i.severity == "error"] == [], \
+        [str(i) for i in issues]
+
+
+def test_max_tapes_evicts_least_recently_used():
+    model = _mlp(np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+    compiled = nn.compile_step(_step(model), max_tapes=2)
+    for rows in (3, 4, 5):  # three signatures, capacity two
+        compiled.step_and_backward(_batches(1, rows=rows)[0], opt)
+        opt.step()
+    assert len(compiled._tapes) == 2
+    assert compiled.traces == 3
+    # rows=3 was evicted; running it again re-traces.
+    compiled.step_and_backward(_batches(1, rows=3, seed=5)[0], opt)
+    opt.step()
+    assert compiled.traces == 4

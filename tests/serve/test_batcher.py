@@ -106,3 +106,41 @@ def test_close_rejects_new_work_and_drains():
     with pytest.raises(RuntimeError):
         batcher.submit("late")
     batcher.close()  # idempotent
+
+
+def test_submit_close_race_never_strands_a_future():
+    """Regression: a submit racing close() could pass the _closed check,
+    enqueue behind the shutdown sentinel, and hang forever — its future
+    neither resolved by the worker (already gone) nor failed by close's
+    drain (already finished).  With submit/close mutually exclusive,
+    every submission either completes, fails with the close error, or
+    is rejected with RuntimeError at the call site — within a bounded
+    wait."""
+    for _ in range(20):  # the race needs several attempts to interleave
+        batcher = MicroBatcher(lambda items: items, max_batch=4,
+                               max_wait_ms=0.1)
+        start = threading.Barrier(2)
+        outcomes = []
+
+        def submitter():
+            start.wait(timeout=5)
+            for i in range(50):
+                try:
+                    future = batcher.submit(i)
+                except RuntimeError:  # closed (or QueueFullError)
+                    outcomes.append("rejected")
+                    return
+                try:
+                    future.result(timeout=5)
+                    outcomes.append("done")
+                except RuntimeError:
+                    outcomes.append("failed-by-close")
+
+        thread = threading.Thread(target=submitter)
+        thread.start()
+        start.wait(timeout=5)
+        batcher.close()
+        thread.join(timeout=10)
+        # A stranded future shows up as a hung submitter thread.
+        assert not thread.is_alive(), "a submission hung after close()"
+        assert outcomes, "submitter made no progress"

@@ -108,3 +108,57 @@ def test_numpy_scalars_coerced(manager):
     loaded = manager.load("scalars")
     assert loaded == {"i": 5, "f": 0.25, "b": True}
     assert isinstance(loaded["i"], int) and isinstance(loaded["b"], bool)
+
+
+def test_save_fsyncs_payload_and_directory(manager, monkeypatch):
+    """Durability: the temp file must be fsynced before os.replace (an
+    unsynced rename can commit a zero-length snapshot across a power
+    loss) and the parent directory after it (or the rename itself can
+    be lost)."""
+    import os as _os
+
+    synced_fds = []
+    real_fsync = _os.fsync
+
+    def spy_fsync(fd):
+        synced_fds.append(_os.fstat(fd).st_mode)
+        return real_fsync(fd)
+
+    monkeypatch.setattr("repro.train.checkpoint.os.fsync", spy_fsync)
+    manager.save("durable", {"w": np.ones(3)})
+    import stat
+    kinds = [("dir" if stat.S_ISDIR(mode) else "file")
+             for mode in synced_fds]
+    assert "file" in kinds, "temp file never fsynced before os.replace"
+    assert "dir" in kinds, "parent directory never fsynced after rename"
+    assert kinds.index("file") < kinds.index("dir")
+
+
+def test_save_error_path_does_not_mask_original_exception(manager,
+                                                          monkeypatch):
+    """Regression: the cleanup unlink used to run in a bare finally —
+    if it raised (or the temp file check did), the original write error
+    was replaced by the cleanup error."""
+
+    def exploding_savez(fh, **payload):
+        raise OSError("disk full")
+
+    monkeypatch.setattr("repro.train.checkpoint.np.savez", exploding_savez)
+    # Make the cleanup itself fail too: unlink raising must not shadow
+    # the original error.
+    monkeypatch.setattr("pathlib.Path.unlink",
+                        lambda self, **kw: (_ for _ in ()).throw(
+                            PermissionError("read-only")))
+    with pytest.raises(OSError, match="disk full"):
+        manager.save("broken", {"w": np.ones(2)})
+
+
+def test_save_error_path_removes_temp_file(manager, monkeypatch):
+    monkeypatch.setattr(
+        "repro.train.checkpoint.np.savez",
+        lambda fh, **payload: (_ for _ in ()).throw(OSError("disk full")))
+    with pytest.raises(OSError, match="disk full"):
+        manager.save("broken", {"w": np.ones(2)})
+    leftovers = [p.name for p in manager.directory.iterdir()
+                 if p.name.startswith(".")]
+    assert leftovers == []

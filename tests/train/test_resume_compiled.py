@@ -1,0 +1,58 @@
+"""Kill-and-resume drills through the compiled training step.
+
+Same contract as ``test_resume_clfd.py`` — interrupt at a snapshot,
+resume in a fresh process, land bit-identical — but with the compile
+flag on for both the interrupted and the resumed run, compared against
+a clean *interpreted* fit.  This covers two compiled-specific hazards
+at once: the resume path restores parameters via ``load_state_dict``,
+which rebinds leaf payloads and must force a re-trace (a stale tape
+would silently train the pre-restore weights), and bit-identity must
+hold across the interrupted/compiled/interpreted triangle, not just
+pairwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CLFD, model_fingerprint
+from repro.train import TrainingInterrupted, TrainRun
+
+from tests.train.test_resume_clfd import CLFD_STOPS
+
+
+def _fit_compiled_interrupted_then_resume(factory, tiny_data, tmp_path,
+                                          stop_after, seed=5):
+    journal = tmp_path / "journal.jsonl"
+    run = TrainRun(tmp_path / "ckpt", journal, stop_after=stop_after,
+                   compile=True)
+    with pytest.raises(TrainingInterrupted):
+        factory().fit(tiny_data[0], rng=np.random.default_rng(seed),
+                      run=run)
+    resumed = TrainRun(tmp_path / "ckpt", journal, resume=True,
+                       compile=True)
+    model = factory()
+    model.fit(tiny_data[0], rng=np.random.default_rng(seed), run=resumed)
+    return model
+
+
+@pytest.fixture(scope="module")
+def clean_interpreted(tiny_config, tiny_data):
+    model = CLFD(tiny_config)
+    model.fit(tiny_data[0], rng=np.random.default_rng(5))
+    return model, model_fingerprint(model)
+
+
+# The resume-test stop points plus a mid-classifier epoch snapshot, so
+# every compiled phase gets interrupted-and-resumed at least once.
+COMPILED_STOPS = CLFD_STOPS + ["corrector/head@3"]
+
+
+@pytest.mark.parametrize("stop_after", COMPILED_STOPS)
+def test_compiled_resume_bit_identical_to_interpreted(
+        tiny_config, tiny_data, tmp_path, clean_interpreted, stop_after):
+    clean_model, clean_print = clean_interpreted
+    model = _fit_compiled_interrupted_then_resume(
+        lambda: CLFD(tiny_config), tiny_data, tmp_path, stop_after)
+    assert model_fingerprint(model) == clean_print
+    np.testing.assert_array_equal(model.predict_proba(tiny_data[1]),
+                                  clean_model.predict_proba(tiny_data[1]))
