@@ -24,7 +24,7 @@ import pytest
 
 from repro import CLFD, CLFDConfig
 from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
-from repro.serve import InferenceEngine
+from repro.serve import InferenceEngine, ServeConfig
 
 CONCURRENCY = 32
 REQUESTS = 256
@@ -90,8 +90,8 @@ def test_microbatching_throughput(serving_setup, report):
     model, test, payloads = serving_setup
 
     sequential = _sequential_throughput(model, test, REQUESTS)
-    with InferenceEngine(model, max_batch=CONCURRENCY,
-                         max_wait_ms=2.0) as engine:
+    with InferenceEngine(model, ServeConfig(max_batch=CONCURRENCY,
+                                            max_wait_ms=2.0)) as engine:
         concurrent = _concurrent_throughput(engine, payloads, CONCURRENCY)
         sizes = engine.metrics.snapshot()["batch_size_histogram"]
         mean_batch = engine.metrics.snapshot()["mean_batch_size"]
@@ -117,8 +117,8 @@ def test_microbatching_throughput(serving_setup, report):
 def test_latency_quantiles_recorded(serving_setup, report):
     """p50/p99 visible through the metrics the server exposes."""
     model, _, payloads = serving_setup
-    with InferenceEngine(model, max_batch=CONCURRENCY,
-                         max_wait_ms=2.0) as engine:
+    with InferenceEngine(model, ServeConfig(max_batch=CONCURRENCY,
+                                            max_wait_ms=2.0)) as engine:
         _concurrent_throughput(engine, payloads[:64], 8)
         for payload in payloads[:8]:
             start = time.perf_counter()

@@ -103,12 +103,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8000,
                        help="TCP port (0 = pick an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="scoring worker processes (>1 shards sessions "
+                            "across a cluster sharing one weight copy)")
     serve.add_argument("--max-batch", type=int, default=32,
                        help="micro-batch size ceiling")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
                        help="coalescing window after the first request")
     serve.add_argument("--max-queue", type=int, default=1024,
                        help="queue bound before 429 backpressure")
+    serve.add_argument("--rate-limit-rps", type=float, default=None,
+                       help="per-tenant sustained sessions/second "
+                            "(default: no rate limiting)")
+    serve.add_argument("--rate-limit-burst", type=float, default=None,
+                       help="per-tenant burst capacity "
+                            "(default: the sustained rate)")
+    serve.add_argument("--score-timeout", type=float, default=30.0,
+                       help="server-side bound on one request's scoring wait")
 
     tr = sub.add_parser(
         "train", help="checkpointed CLFD training with kill/resume support")
@@ -239,11 +250,15 @@ def main(argv: list[str] | None = None) -> int:
         tail_journal(args.journal, n=args.lines, phase=args.phase,
                      follow=args.follow)
     elif args.command == "serve":
-        from .serve import run_server
+        from .serve import ServeConfig, run_server
 
-        run_server(args.model, host=args.host, port=args.port,
-                   max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
-                   max_queue=args.max_queue)
+        config = ServeConfig(
+            host=args.host, port=args.port, workers=args.workers,
+            max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue, rate_limit_rps=args.rate_limit_rps,
+            rate_limit_burst=args.rate_limit_burst,
+            score_timeout_s=args.score_timeout, verbose=True)
+        run_server(args.model, config)
     return 0
 
 

@@ -12,7 +12,8 @@ from .noise_rates import (
     recommend_inversion,
     session_flip_posterior,
 )
-from .persistence import load_clfd, model_fingerprint, save_clfd
+from .persistence import (build_clfd, load_clfd, model_fingerprint,
+                          read_archive, save_clfd)
 from .training import train_classifier_head
 
 __all__ = [
@@ -23,5 +24,6 @@ __all__ = [
     "CoTeachingCorrector", "CoTeachingCLFD",
     "NoiseRateEstimate", "estimate_noise_rates", "session_flip_posterior",
     "recommend_inversion",
-    "save_clfd", "load_clfd", "model_fingerprint",
+    "save_clfd", "load_clfd", "model_fingerprint", "read_archive",
+    "build_clfd",
 ]

@@ -37,7 +37,8 @@ from .config import CLFDConfig
 from .fraud_detector import FraudDetector
 from .label_corrector import LabelCorrector
 
-__all__ = ["save_clfd", "load_clfd", "model_fingerprint"]
+__all__ = ["save_clfd", "load_clfd", "model_fingerprint", "read_archive",
+           "build_clfd"]
 
 _FORMAT_VERSION = 2
 _READABLE_VERSIONS = (1, 2)
@@ -156,30 +157,48 @@ def model_fingerprint(model: CLFD) -> str:
     return digest.hexdigest()
 
 
-def load_clfd(path: str | os.PathLike) -> CLFD:
-    """Restore a CLFD model saved by :func:`save_clfd`.
+def read_archive(
+        path: str | os.PathLike) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read a CLFD archive into ``(meta, arrays)`` without building it.
 
-    Accepts the same suffix-less paths as :func:`save_clfd`.  The
-    returned model is ready for :meth:`CLFD.predict`; training state
-    (corrected labels, loss histories) is not persisted.
+    ``meta`` is the decoded JSON header, ``arrays`` every learned array
+    keyed as written by :func:`save_clfd` (the raw ``meta`` bytes are
+    excluded).  This is the half of :func:`load_clfd` the serving
+    cluster runs exactly once per archive — the arrays are then
+    published into shared memory and every worker builds its model from
+    views via :func:`build_clfd`.
     """
     path = pathlib.Path(path)
     if not path.exists():
         path = _normalize_path(path)
     with np.load(path) as archive:
         data = {key: archive[key] for key in archive.files}
-
-    meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+    meta = json.loads(bytes(data.pop("meta")).decode("utf-8"))
     if meta["format_version"] not in _READABLE_VERSIONS:
         raise ValueError(
             f"unsupported CLFD archive version {meta['format_version']}"
         )
+    return meta, data
+
+
+def build_clfd(meta: dict, arrays: dict[str, np.ndarray], *,
+               bind: bool = False) -> CLFD:
+    """Assemble a ready-to-predict CLFD from ``read_archive`` output.
+
+    With ``bind=True`` the model's parameters (and the embedding matrix
+    and centroids) *are* the provided arrays rather than copies — the
+    zero-copy path used by cluster workers whose arrays are read-only
+    shared-memory views.  Callers passing ``bind=True`` must keep the
+    arrays' backing memory alive for the model's lifetime.
+    """
     config_dict = dict(meta["config"])
     config_dict["word2vec"] = Word2VecConfig(**config_dict["word2vec"])
     config = CLFDConfig(**config_dict)
 
     model = CLFD(config)
-    vectors = data["word2vec/vectors"]
+    vectors = arrays["word2vec/vectors"]
+    if not bind:
+        vectors = vectors.copy()
     tokens = meta.get("vocab")
     vocab = Vocabulary(tokens[1:]) if tokens else None
     model.vectorizer = SessionVectorizer(SkipGramModel(vectors),
@@ -189,23 +208,36 @@ def load_clfd(path: str | os.PathLike) -> CLFD:
     # Module construction consumes RNG draws; the exact seed is
     # irrelevant because every parameter is overwritten from the archive.
     rng = np.random.default_rng(0)
+    copy = not bind
     if meta["has_corrector"]:
         corrector = LabelCorrector(config, model.vectorizer, rng)
         corrector.encoder.load_state_dict(
-            _extract_state("corrector/encoder", data))
+            _extract_state("corrector/encoder", arrays), copy=copy)
         corrector.classifier.load_state_dict(
-            _extract_state("corrector/classifier", data))
+            _extract_state("corrector/classifier", arrays), copy=copy)
         corrector._fitted = True
         model.label_corrector = corrector
     if meta["has_detector"]:
         detector = FraudDetector(config, model.vectorizer, rng)
         detector.encoder.load_state_dict(
-            _extract_state("detector/encoder", data))
+            _extract_state("detector/encoder", arrays), copy=copy)
         detector.classifier.load_state_dict(
-            _extract_state("detector/classifier", data))
-        if "detector/centroids" in data:
-            detector.centroids = data["detector/centroids"]
+            _extract_state("detector/classifier", arrays), copy=copy)
+        if "detector/centroids" in arrays:
+            centroids = arrays["detector/centroids"]
+            detector.centroids = centroids if bind else centroids.copy()
         detector._fitted = True
         model.fraud_detector = detector
     model._fitted = True
     return model
+
+
+def load_clfd(path: str | os.PathLike) -> CLFD:
+    """Restore a CLFD model saved by :func:`save_clfd`.
+
+    Accepts the same suffix-less paths as :func:`save_clfd`.  The
+    returned model is ready for :meth:`CLFD.predict`; training state
+    (corrected labels, loss histories) is not persisted.
+    """
+    meta, arrays = read_archive(path)
+    return build_clfd(meta, arrays)

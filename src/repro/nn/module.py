@@ -99,7 +99,8 @@ class Module:
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray],
-                        strict: bool = True) -> "LoadReport":
+                        strict: bool = True, *,
+                        copy: bool = True) -> "LoadReport":
         """Load parameter arrays saved by :meth:`state_dict`.
 
         ``strict=True`` (the default) raises :class:`KeyError` when the
@@ -108,6 +109,14 @@ class Module:
         produce a half-initialised model.  ``strict=False`` loads the
         intersection (shape mismatches still raise) and returns a
         :class:`LoadReport` naming what was skipped.
+
+        ``copy=False`` *binds* the provided arrays instead of copying:
+        when an array's dtype already matches the parameter's, the
+        parameter's ``data`` becomes the array itself (zero-copy — the
+        serving cluster binds read-only shared-memory views this way so
+        N worker processes share one set of weights).  Arrays whose
+        dtype differs are still copied, since a cast materialises a new
+        buffer anyway.
         """
         own = dict(self.named_parameters())
         missing = sorted(set(own) - set(state))
@@ -120,13 +129,16 @@ class Module:
         for name, param in own.items():
             if name not in state:
                 continue
-            value = np.asarray(state[name], dtype=param.data.dtype)
+            value = np.asarray(state[name])
             if value.shape != param.shape:
                 raise ValueError(
                     f"shape mismatch for {name}: "
                     f"expected {param.shape}, got {value.shape}"
                 )
-            param.data = value.copy()
+            if not copy and value.dtype == param.data.dtype:
+                param.data = value
+            else:
+                param.data = value.astype(param.data.dtype, copy=True)
         return LoadReport(missing=missing, unexpected=unexpected)
 
     # ------------------------------------------------------------------

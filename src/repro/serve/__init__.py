@@ -3,20 +3,32 @@
 The deployment story the paper gestures at ("the FCNN head is shipped
 to an inference service") made concrete:
 
+* :class:`ServeConfig` — the one frozen configuration object every
+  serve entry point (engines, server, CLI) constructs through;
 * :class:`InferenceEngine` — warm-loads a persisted archive and scores
-  raw sessions with request micro-batching;
+  raw sessions with request micro-batching; rolling
+  :meth:`~InferenceEngine.reload_model` without dropping requests;
+* :class:`ClusterEngine` — shards sessions across N scoring worker
+  processes (consistent hash on ``session_id``) that map one shared
+  copy of the weights (:class:`SharedArchive`);
 * :class:`MicroBatcher` — coalesces concurrent single-session requests
   into padded batches (bounded queue = backpressure);
+* :class:`TenantRateLimiter` — per-tenant token buckets in front of the
+  queue, so one noisy tenant cannot starve the rest;
 * :class:`ServingServer` / :func:`run_server` — stdlib HTTP front end
-  (``/score``, ``/healthz``, ``/metrics``), started from the CLI with
-  ``python -m repro serve --model model.npz``;
+  (versioned: ``/v1/score``, ``/v1/healthz``, ``/v1/metrics``,
+  ``/v1/reload``; unversioned paths 307-redirect), started from the
+  CLI with ``python -m repro serve --model model.npz [--workers N]``;
 * :mod:`~repro.serve.schemas` — request validation with structured,
-  client-visible errors.
+  client-visible errors, all serialised through one error envelope.
 """
 
 from .batcher import MicroBatcher, QueueFullError
+from .cluster import ClusterEngine, HashRing
+from .config import ServeConfig, resolve_config
 from .engine import InferenceEngine
-from .metrics import ServingMetrics
+from .metrics import ServingMetrics, merge_snapshots
+from .ratelimit import TenantRateLimiter, TokenBucket
 from .schemas import (
     RawSession,
     RequestError,
@@ -24,11 +36,16 @@ from .schemas import (
     parse_score_request,
     parse_session,
 )
-from .server import ServingServer, run_server
+from .server import API_PREFIX, ServingServer, run_server
+from .shm import SharedArchive
 
 __all__ = [
-    "InferenceEngine", "MicroBatcher", "QueueFullError", "ServingMetrics",
-    "ServingServer", "run_server",
+    "ServeConfig", "resolve_config",
+    "InferenceEngine", "ClusterEngine", "HashRing", "SharedArchive",
+    "MicroBatcher", "QueueFullError",
+    "ServingMetrics", "merge_snapshots",
+    "TenantRateLimiter", "TokenBucket",
+    "ServingServer", "run_server", "API_PREFIX",
     "RawSession", "RequestError", "ScoreResult",
     "parse_session", "parse_score_request",
 ]

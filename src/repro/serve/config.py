@@ -1,0 +1,144 @@
+"""One configuration object for every serve entry point.
+
+Before this module existed the serving tier had three independent ways
+to spell the same knobs — ``InferenceEngine`` kwargs, ``run_server``
+kwargs and ``repro serve`` CLI flags — and the cluster tier would have
+added a fourth.  :class:`ServeConfig` is now the single construction
+path: the library engines (:class:`~repro.serve.engine.InferenceEngine`,
+:class:`~repro.serve.cluster.ClusterEngine`), the HTTP server
+(:class:`~repro.serve.server.ServingServer` / ``run_server``) and the
+CLI all consume one frozen, validated dataclass.
+
+Legacy keyword arguments keep working through :func:`resolve_config`,
+which emits exactly **one** :class:`DeprecationWarning` per call (no
+matter how many legacy kwargs were passed) and forwards them into an
+equivalent ``ServeConfig`` — identical behavior, one warning, no third
+construction path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+__all__ = ["ServeConfig", "resolve_config"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """Every serving knob in one immutable object.
+
+    Parameters
+    ----------
+    max_batch / max_wait_ms / max_queue: micro-batcher window — batch
+        ceiling, coalescing wait after the first request, and the
+        backpressure bound that maps to HTTP 429.
+    workers: scoring processes.  ``1`` serves in-process through
+        :class:`InferenceEngine`; ``>1`` starts a sharded
+        :class:`ClusterEngine` with model weights in shared memory.
+    host / port: HTTP bind address (``port=0`` picks an ephemeral port).
+    rate_limit_rps / rate_limit_burst: per-tenant token bucket —
+        sustained sessions/second and burst capacity (defaults to the
+        sustained rate).  ``None`` disables rate limiting.
+    drain_timeout_s: reload/shutdown policy — how long a rolling reload
+        or close waits for in-flight batches to drain.
+    score_timeout_s: server-side bound on one request's scoring wait.
+    include_embeddings: attach encoder representations to results.
+    warmup: run a throwaway forward at (re)load so the first real
+        request never pays first-call allocation costs.
+    verbose: per-request HTTP logging.
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+    workers: int = 1
+    host: str = "127.0.0.1"
+    port: int = 8000
+    rate_limit_rps: float | None = None
+    rate_limit_burst: float | None = None
+    drain_timeout_s: float = 30.0
+    score_timeout_s: float = 30.0
+    include_embeddings: bool = False
+    warmup: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not 0 <= self.port <= 65535:
+            raise ValueError("port must be in [0, 65535]")
+        if self.rate_limit_rps is not None and self.rate_limit_rps <= 0:
+            raise ValueError("rate_limit_rps must be positive (or None)")
+        if self.rate_limit_burst is not None and self.rate_limit_burst <= 0:
+            raise ValueError("rate_limit_burst must be positive (or None)")
+        if self.drain_timeout_s <= 0:
+            raise ValueError("drain_timeout_s must be positive")
+        if self.score_timeout_s <= 0:
+            raise ValueError("score_timeout_s must be positive")
+
+    @property
+    def burst(self) -> float | None:
+        """Effective bucket capacity: explicit burst, else the rate."""
+        if self.rate_limit_rps is None:
+            return self.rate_limit_burst
+        return (self.rate_limit_burst if self.rate_limit_burst is not None
+                else max(self.rate_limit_rps, 1.0))
+
+    def replace(self, **changes) -> "ServeConfig":
+        return dataclasses.replace(self, **changes)
+
+    def worker_config(self) -> "ServeConfig":
+        """The per-worker view: one process, limits enforced up front."""
+        return self.replace(workers=1, rate_limit_rps=None,
+                            rate_limit_burst=None, verbose=False)
+
+
+# Legacy keyword -> ServeConfig field, covering every kwarg the serve
+# entry points accepted before ServeConfig existed.
+_LEGACY_FIELDS = {
+    "max_batch": "max_batch",
+    "max_wait_ms": "max_wait_ms",
+    "max_queue": "max_queue",
+    "workers": "workers",
+    "host": "host",
+    "port": "port",
+    "include_embeddings": "include_embeddings",
+    "warmup": "warmup",
+    "verbose": "verbose",
+    "score_timeout": "score_timeout_s",
+}
+
+
+def resolve_config(config: ServeConfig | None, legacy: dict,
+                   owner: str) -> ServeConfig:
+    """Turn ``(config, **legacy_kwargs)`` into one :class:`ServeConfig`.
+
+    * no legacy kwargs: returns ``config`` (or the defaults);
+    * legacy kwargs only: emits **one** :class:`DeprecationWarning`
+      naming them all, then builds the equivalent config;
+    * both: :class:`TypeError` — mixing the old and new spellings is
+      ambiguous and always a bug at the call site.
+    """
+    if not legacy:
+        return config if config is not None else ServeConfig()
+    unknown = sorted(set(legacy) - set(_LEGACY_FIELDS))
+    if unknown:
+        raise TypeError(f"{owner}: unexpected keyword argument(s) {unknown}")
+    if config is not None:
+        raise TypeError(
+            f"{owner}: pass either a ServeConfig or legacy keyword "
+            f"arguments ({sorted(legacy)}), not both")
+    warnings.warn(
+        f"{owner}: keyword argument(s) {sorted(legacy)} are deprecated; "
+        f"construct a repro.serve.ServeConfig instead "
+        f"(e.g. ServeConfig({', '.join(sorted(legacy))}=...))",
+        DeprecationWarning, stacklevel=3)
+    return ServeConfig(**{_LEGACY_FIELDS[key]: value
+                          for key, value in legacy.items()})

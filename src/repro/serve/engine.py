@@ -8,6 +8,13 @@ padded forward pass through the standard
 :meth:`CLFD.predict(..., return_embeddings=...) <repro.core.CLFD.predict>`
 path — the engine never touches encoder internals.
 
+The model + its encoding tables live in an immutable ``_ModelRuntime``
+bound to the batcher that scores with it, so a **rolling reload**
+(:meth:`InferenceEngine.reload_model`) can build and warm the next
+generation, flip new submissions over atomically, and drain the old
+batcher — no dropped requests and no batch ever mixes generations.
+Every :class:`ScoreResult` is tagged with the generation that scored it.
+
 Degradation policy (per ISSUE motivation: deployment-time scoring is
 where detectors fail in practice):
 
@@ -18,13 +25,17 @@ where detectors fail in practice):
   padding embedding (≈ zero vector) and are reported per session as
   ``oov_count`` instead of failing the request;
 * a full queue raises ``RequestError(queue_full, status=429)`` —
-  backpressure, not unbounded buffering.
+  backpressure, not unbounded buffering — and a per-tenant token bucket
+  (:class:`~repro.serve.ratelimit.TenantRateLimiter`, enabled through
+  :class:`ServeConfig`) throttles noisy tenants before they reach it.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 import os
+import threading
 from concurrent.futures import Future
 from typing import Any, Iterable
 
@@ -35,7 +46,9 @@ from ..data.sessions import Session, SessionDataset
 from ..data.vocab import Vocabulary
 from ..nn.profiler import Profiler
 from .batcher import MicroBatcher, QueueFullError
+from .config import ServeConfig, resolve_config
 from .metrics import ServingMetrics
+from .ratelimit import TenantRateLimiter
 from .schemas import RawSession, RequestError, ScoreResult, parse_session
 
 __all__ = ["InferenceEngine"]
@@ -50,121 +63,48 @@ class _Encoded:
     oov_count: int
 
 
-class InferenceEngine:
-    """Scores raw sessions against a fitted CLFD with micro-batching.
+_WARMUP = _Encoded(ids=(0,), session_id="warmup", oov_count=0)
 
-    Parameters
-    ----------
-    model: a *fitted* CLFD (typically from
-        :func:`repro.core.load_clfd`).
-    max_batch / max_wait_ms / max_queue: micro-batcher knobs — batch
-        ceiling, coalescing window, and backpressure bound.
-    include_embeddings: attach the encoder representation to every
-        :class:`ScoreResult` (for downstream similarity search /
-        representation monitoring).
-    warmup: run one throwaway forward at construction so the first real
-        request does not pay first-call allocation costs.
+
+class _ModelRuntime:
+    """One model generation: the model, its encoding tables, its tag.
+
+    A batcher is bound to exactly one runtime (via ``partial``), which
+    is what makes reloads batch-atomic: an old batcher can only ever
+    score with the generation it was created for.
     """
 
-    def __init__(self, model: CLFD, *, max_batch: int = 32,
-                 max_wait_ms: float = 2.0, max_queue: int = 1024,
-                 include_embeddings: bool = False, warmup: bool = True,
-                 metrics: ServingMetrics | None = None):
+    def __init__(self, model: CLFD, generation: int):
         if model.vectorizer is None:
             raise ValueError("InferenceEngine requires a fitted CLFD")
         self.model = model
+        self.generation = int(generation)
         self.vectorizer = model.vectorizer
-        self.include_embeddings = include_embeddings
-        self.metrics = metrics or ServingMetrics()
-        self.profiler = Profiler()
-        self._vocab = self.vectorizer.vocab
-        self._vocab_size = self.vectorizer.model.vocab_size
-        self._dataset_vocab = self._vocab or Vocabulary()
-        if warmup:
-            self._score_batch([_Encoded(ids=(0,), session_id="warmup",
-                                        oov_count=0)])
-        self.batcher = MicroBatcher(
-            self._score_batch, max_batch=max_batch, max_wait_ms=max_wait_ms,
-            max_queue=max_queue, on_batch=self.metrics.record_batch,
-        )
+        self.vocab = self.vectorizer.vocab
+        self.vocab_size = self.vectorizer.model.vocab_size
+        self.dataset_vocab = self.vocab or Vocabulary()
 
-    @classmethod
-    def from_archive(cls, path: str | os.PathLike,
-                     **kwargs) -> "InferenceEngine":
-        """Warm-load a persisted archive (see :func:`repro.core.load_clfd`)."""
-        from ..core.persistence import load_clfd
-
-        return cls(load_clfd(path), **kwargs)
-
-    # ------------------------------------------------------------------
-    # Public scoring API
-    # ------------------------------------------------------------------
-    def submit(self, payload: Any) -> "Future[ScoreResult]":
-        """Validate + encode ``payload`` and enqueue it for scoring.
-
-        Raises :class:`RequestError` for malformed payloads or when the
-        queue is full; otherwise returns a future resolving to the
-        session's :class:`ScoreResult`.
-        """
-        raw = payload if isinstance(payload, RawSession) \
-            else parse_session(payload)
-        encoded = self._encode(raw)
-        try:
-            return self.batcher.submit(encoded)
-        except QueueFullError as exc:
-            raise RequestError("queue_full", str(exc), status=429) from None
-
-    def score(self, payload: Any, timeout: float | None = 30.0) -> ScoreResult:
-        """Synchronous single-session scoring (submit + wait)."""
-        return self.submit(payload).result(timeout=timeout)
-
-    def score_many(self, payloads: Iterable[Any],
-                   timeout: float | None = 30.0) -> list[ScoreResult]:
-        """Score several sessions, preserving order.
-
-        All payloads are validated and enqueued before the first wait,
-        so they can share micro-batches.
-        """
-        futures = [self.submit(p) for p in payloads]
-        return [future.result(timeout=timeout) for future in futures]
-
-    @property
-    def queue_depth(self) -> int:
-        return self.batcher.pending
-
-    def close(self) -> None:
-        self.batcher.close()
-
-    def __enter__(self) -> "InferenceEngine":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _encode(self, raw: RawSession) -> _Encoded:
+    def encode(self, raw: RawSession) -> _Encoded:
         """Map tokens/ids into embedding rows, with OOV degradation."""
-        pad = self._dataset_vocab.pad_id
+        pad = self.dataset_vocab.pad_id
         ids: list[int] = []
         oov = 0
         for activity in raw.activities:
             if isinstance(activity, int):
-                if 0 <= activity < self._vocab_size:
+                if 0 <= activity < self.vocab_size:
                     ids.append(int(activity))
                 else:
                     ids.append(pad)
                     oov += 1
             else:
-                if self._vocab is None:
+                if self.vocab is None:
                     raise RequestError(
                         "tokens_unsupported",
                         "this model archive carries no vocabulary "
                         "(format v1); send integer activity ids",
                     )
-                if activity in self._vocab:
-                    ids.append(self._vocab[activity])
+                if activity in self.vocab:
+                    ids.append(self.vocab[activity])
                 else:
                     ids.append(pad)
                     oov += 1
@@ -174,19 +114,234 @@ class InferenceEngine:
         return _Encoded(ids=tuple(ids), session_id=raw.session_id,
                         oov_count=oov)
 
-    def _score_batch(self, items: list[_Encoded]) -> list[ScoreResult]:
-        """One padded forward pass for a coalesced micro-batch."""
+
+class InferenceEngine:
+    """Scores raw sessions against a fitted CLFD with micro-batching.
+
+    Parameters
+    ----------
+    model: a *fitted* CLFD (typically from
+        :func:`repro.core.load_clfd`).
+    config: a :class:`ServeConfig`; legacy keyword arguments
+        (``max_batch=...`` etc.) still work through a deprecation shim.
+    metrics / rate_limiter: injectable collaborators (a cluster worker
+        keeps one metrics object across reloads; tests inject a
+        fake-clock limiter).
+    generation / worker_id: tags stamped onto every result — the model
+        generation this engine starts at, and the cluster shard id
+        (``None`` outside a cluster).
+    """
+
+    def __init__(self, model: CLFD, config: ServeConfig | None = None, *,
+                 metrics: ServingMetrics | None = None,
+                 rate_limiter: TenantRateLimiter | None = None,
+                 generation: int = 0, worker_id: int | None = None,
+                 **legacy):
+        self.config = resolve_config(config, legacy, "InferenceEngine")
+        self.metrics = metrics or ServingMetrics()
+        self.profiler = Profiler()
+        self.worker_id = worker_id
+        self._limiter = (rate_limiter if rate_limiter is not None
+                         else TenantRateLimiter.from_config(self.config))
+        self._closed = False
+        # Guards reload/close against each other; submissions read
+        # self._active once and never hold the lock.
+        self._admin_lock = threading.Lock()
+        runtime = _ModelRuntime(model, generation)
+        if self.config.warmup:
+            self._score_batch(runtime, [_WARMUP])
+        self._active: tuple[_ModelRuntime, MicroBatcher] = (
+            runtime, self._make_batcher(runtime))
+
+    @classmethod
+    def from_archive(cls, path: str | os.PathLike,
+                     config: ServeConfig | None = None,
+                     **kwargs) -> "InferenceEngine":
+        """Warm-load a persisted archive (see :func:`repro.core.load_clfd`)."""
+        from ..core.persistence import load_clfd
+
+        return cls(load_clfd(path), config, **kwargs)
+
+    def _make_batcher(self, runtime: _ModelRuntime) -> MicroBatcher:
+        return MicroBatcher(
+            functools.partial(self._score_batch, runtime),
+            max_batch=self.config.max_batch,
+            max_wait_ms=self.config.max_wait_ms,
+            max_queue=self.config.max_queue,
+            on_batch=self.metrics.record_batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection (the live generation's view)
+    # ------------------------------------------------------------------
+    @property
+    def model(self) -> CLFD:
+        return self._active[0].model
+
+    @property
+    def vectorizer(self):
+        return self._active[0].vectorizer
+
+    @property
+    def generation(self) -> int:
+        return self._active[0].generation
+
+    @property
+    def include_embeddings(self) -> bool:
+        return self.config.include_embeddings
+
+    @property
+    def queue_depth(self) -> int:
+        return self._active[1].pending
+
+    # ------------------------------------------------------------------
+    # Public scoring API
+    # ------------------------------------------------------------------
+    def submit(self, payload: Any, *,
+               tenant: str | None = None) -> "Future[ScoreResult]":
+        """Validate + encode ``payload`` and enqueue it for scoring.
+
+        Raises :class:`RequestError` for malformed payloads, when the
+        queue is full (429), when the tenant is throttled (429), or
+        once shutdown has begun (503); otherwise returns a future
+        resolving to the session's :class:`ScoreResult`.
+        """
+        raw = payload if isinstance(payload, RawSession) \
+            else parse_session(payload)
+        if self._limiter is not None:
+            self._limiter.check(tenant)
+        # Two attempts: a rolling reload may close the batcher we read
+        # between encode and enqueue — re-read the flipped generation
+        # (its vocabulary may differ, so re-encode too) and retry.
+        for _ in range(2):
+            runtime, batcher = self._active
+            encoded = runtime.encode(raw)
+            try:
+                return batcher.submit(encoded)
+            except QueueFullError as exc:
+                raise RequestError("queue_full", str(exc),
+                                   status=429) from None
+            except RuntimeError:
+                if self._closed:
+                    break
+        raise RequestError("shutting_down",
+                           "engine is shutting down", status=503)
+
+    def score(self, payload: Any, timeout: float | None = 30.0, *,
+              tenant: str | None = None) -> ScoreResult:
+        """Synchronous single-session scoring (submit + wait)."""
+        return self.submit(payload, tenant=tenant).result(timeout=timeout)
+
+    def score_many(self, payloads: Iterable[Any],
+                   timeout: float | None = 30.0, *,
+                   tenant: str | None = None) -> list[ScoreResult]:
+        """Score several sessions, preserving order.
+
+        All payloads are validated and enqueued before the first wait,
+        so they can share micro-batches.
+        """
+        futures = [self.submit(p, tenant=tenant) for p in payloads]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reload_model(self, model: CLFD, generation: int | None = None) -> int:
+        """Rolling reload: warm the new model, flip, drain the old.
+
+        The next generation is fully constructed (and warmed, when
+        ``config.warmup``) *before* any request is routed to it; the
+        previous batcher then drains every already-enqueued request
+        against the model that accepted it.  Returns the new generation.
+        """
+        with self._admin_lock:
+            if self._closed:
+                raise RuntimeError("engine is closed")
+            old_runtime, old_batcher = self._active
+            gen = (int(generation) if generation is not None
+                   else old_runtime.generation + 1)
+            runtime = _ModelRuntime(model, gen)
+            if self.config.warmup:
+                self._score_batch(runtime, [_WARMUP])
+            self._active = (runtime, self._make_batcher(runtime))
+        old_batcher.close(timeout=self.config.drain_timeout_s)
+        return gen
+
+    def reload(self, path: str | os.PathLike,
+               generation: int | None = None) -> int:
+        """Rolling reload from a persisted archive path."""
+        from ..core.persistence import load_clfd
+
+        return self.reload_model(load_clfd(path), generation)
+
+    def close(self) -> None:
+        """Drain and stop: every in-flight future resolves first."""
+        with self._admin_lock:
+            if self._closed:
+                return
+            self._closed = True
+            _, batcher = self._active
+        batcher.close(timeout=self.config.drain_timeout_s)
+
+    def __enter__(self) -> "InferenceEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {"status": "ok", "queue_depth": self.queue_depth,
+                "generation": self.generation}
+
+    def metrics_snapshot(self) -> dict:
+        """The JSON ``/v1/metrics`` view for this engine."""
+        snap = self.metrics.snapshot(self.profiler.regions)
+        snap["generation"] = self.generation
+        snap["queue_depth"] = self.queue_depth
+        if self._limiter is not None:
+            snap["rate_limiter"] = self._limiter.snapshot()
+        return snap
+
+    def metrics_prometheus(self) -> str:
+        """Prometheus text exposition for this engine."""
+        return self.metrics.render_prometheus(
+            self.profiler.regions,
+            gauges={"generation": self.generation,
+                    "queue_depth": self.queue_depth})
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _score_batch(self, runtime: _ModelRuntime,
+                     items: list[_Encoded]) -> list[ScoreResult]:
+        """One padded forward pass for a coalesced micro-batch.
+
+        The batch is padded to exactly ``config.max_batch`` rows with
+        throwaway pad sessions before the forward pass.  BLAS picks
+        different GEMM kernels for different row counts, and the
+        summation orders differ, so the *same* session scores
+        ULP-differently at batch sizes 1, 2–3 and 4+ — a session's
+        score would otherwise depend on how many requests happened to
+        coalesce with it.  Fixing the row count makes every score a
+        function of the session alone, which is what keeps
+        differently-coalesced engines (cluster shards vs a single
+        process) bit-identical.
+        """
+        rows = items + [_WARMUP] * (self.config.max_batch - len(items))
         dataset = SessionDataset(
             [Session(activities=list(item.ids), label=0,
-                     session_id=item.session_id) for item in items],
-            self._dataset_vocab, name="serve-batch",
+                     session_id=item.session_id) for item in rows],
+            runtime.dataset_vocab, name="serve-batch",
         )
         with self.profiler.timer("batch_forward"):
-            if self.include_embeddings:
-                labels, scores, embeddings = self.model.predict(
+            if self.config.include_embeddings:
+                labels, scores, embeddings = runtime.model.predict(
                     dataset, return_embeddings=True)
             else:
-                labels, scores = self.model.predict(dataset)
+                labels, scores = runtime.model.predict(dataset)
                 embeddings = None
         results = []
         for row, item in enumerate(items):
@@ -207,5 +362,7 @@ class InferenceEngine:
                 embedding=(tuple(np.asarray(embeddings[row], dtype=float))
                            if embeddings is not None else None),
                 warnings=warnings,
+                generation=runtime.generation,
+                worker=self.worker_id,
             ))
         return results

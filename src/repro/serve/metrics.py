@@ -7,7 +7,15 @@ guarded by one lock (operations are all O(1) appends/increments).
 Latency quantiles come from a bounded reservoir of the most recent
 request latencies; forward-pass wall time is accounted separately
 through the engine's :class:`repro.nn.profiler.Profiler` timer regions,
-which lets ``/metrics`` split queueing delay from model compute.
+which lets ``/v1/metrics`` split queueing delay from model compute.
+
+Cluster aggregation: each scoring worker process keeps its own
+:class:`ServingMetrics`; the front-end fans out snapshot requests and
+merges them with :func:`merge_snapshots` (counters and histograms sum;
+latency quantiles are re-derived per worker, so the merged view reports
+their per-worker extremes).  :func:`render_cluster_prometheus` emits the
+front-end exposition plus cluster gauges (workers alive, shard queue
+depths, reload generation) and per-worker counter series.
 """
 
 from __future__ import annotations
@@ -17,13 +25,14 @@ import threading
 
 import numpy as np
 
-__all__ = ["ServingMetrics"]
+__all__ = ["ServingMetrics", "merge_snapshots", "render_snapshot",
+           "render_cluster_prometheus"]
 
 _RESERVOIR = 4096
 
 
 class ServingMetrics:
-    """Thread-safe counters + histograms behind ``/metrics``."""
+    """Thread-safe counters + histograms behind ``/v1/metrics``."""
 
     def __init__(self, reservoir: int = _RESERVOIR):
         self._lock = threading.Lock()
@@ -93,36 +102,129 @@ class ServingMetrics:
             snap["profile_regions_seconds"] = dict(regions)
         return snap
 
-    def render_prometheus(self,
-                          regions: dict[str, float] | None = None) -> str:
+    def render_prometheus(self, regions: dict[str, float] | None = None,
+                          gauges: dict[str, float] | None = None) -> str:
         """Text exposition (Prometheus-style) for scraping."""
-        snap = self.snapshot(regions)
-        lines = [
-            "# TYPE repro_serve_requests_total counter",
-            f"repro_serve_requests_total {snap['requests_total']}",
-            "# TYPE repro_serve_sessions_total counter",
-            f"repro_serve_sessions_total {snap['sessions_total']}",
-            "# TYPE repro_serve_errors_total counter",
-        ]
-        for code, n in sorted(snap["errors_total"].items()):
-            lines.append(f'repro_serve_errors_total{{code="{code}"}} {n}')
-        lines.append("# TYPE repro_serve_batch_size histogram")
-        cumulative = 0
-        for size, n in snap["batch_size_histogram"].items():
-            cumulative += n
-            lines.append(
-                f'repro_serve_batch_size_bucket{{le="{size}"}} {cumulative}')
-        lines.append(f"repro_serve_batch_size_count {snap['batches_total']}")
-        lines.append("# TYPE repro_serve_batch_seconds_total counter")
+        return render_snapshot(self.snapshot(regions), gauges=gauges)
+
+
+# ----------------------------------------------------------------------
+# Snapshot-level operations (plain dicts, usable across process borders)
+# ----------------------------------------------------------------------
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Sum worker snapshots into one combined view.
+
+    Counters, error/batch histograms and batch seconds are additive.
+    Latency quantiles are *not* (each worker keeps its own reservoir):
+    the merged view reports the worst per-worker p50/p99 and the
+    session-weighted mean, which is the conservative cluster-level
+    answer for an SLO check.
+    """
+    merged: dict = {
+        "requests_total": 0, "sessions_total": 0,
+        "errors_total": collections.Counter(),
+        "batch_size_histogram": collections.Counter(),
+        "batches_total": 0, "batch_seconds_total": 0.0,
+        "queue_depth": 0,
+    }
+    weighted_mean = 0.0
+    weight = 0
+    p50 = p99 = 0.0
+    for snap in snapshots:
+        merged["requests_total"] += snap.get("requests_total", 0)
+        merged["sessions_total"] += snap.get("sessions_total", 0)
+        merged["errors_total"].update(snap.get("errors_total", {}))
+        merged["batch_size_histogram"].update(
+            snap.get("batch_size_histogram", {}))
+        merged["batches_total"] += snap.get("batches_total", 0)
+        merged["batch_seconds_total"] += snap.get("batch_seconds_total", 0.0)
+        merged["queue_depth"] += snap.get("queue_depth", 0)
+        latency = snap.get("latency_seconds", {})
+        p50 = max(p50, latency.get("p50", 0.0))
+        p99 = max(p99, latency.get("p99", 0.0))
+        n = snap.get("requests_total", 0)
+        weighted_mean += latency.get("mean", 0.0) * n
+        weight += n
+    merged["errors_total"] = dict(merged["errors_total"])
+    merged["batch_size_histogram"] = {
+        str(k): v for k, v in sorted(
+            merged["batch_size_histogram"].items(), key=lambda kv: int(kv[0]))
+    }
+    total_sessions = sum(
+        int(size) * n for size, n in merged["batch_size_histogram"].items())
+    merged["mean_batch_size"] = total_sessions / max(merged["batches_total"],
+                                                     1)
+    merged["latency_seconds"] = {
+        "p50": p50, "p99": p99,
+        "mean": weighted_mean / weight if weight else 0.0,
+    }
+    return merged
+
+
+def render_snapshot(snap: dict, gauges: dict[str, float] | None = None) -> str:
+    """Render one snapshot dict as Prometheus text exposition."""
+    lines = [
+        "# TYPE repro_serve_requests_total counter",
+        f"repro_serve_requests_total {snap['requests_total']}",
+        "# TYPE repro_serve_sessions_total counter",
+        f"repro_serve_sessions_total {snap['sessions_total']}",
+        "# TYPE repro_serve_errors_total counter",
+    ]
+    for code, n in sorted(snap["errors_total"].items()):
+        lines.append(f'repro_serve_errors_total{{code="{code}"}} {n}')
+    lines.append("# TYPE repro_serve_batch_size histogram")
+    cumulative = 0
+    for size, n in snap["batch_size_histogram"].items():
+        cumulative += n
         lines.append(
-            f"repro_serve_batch_seconds_total {snap['batch_seconds_total']:.6f}")
-        lines.append("# TYPE repro_serve_latency_seconds summary")
-        for q, key in (("0.5", "p50"), ("0.99", "p99")):
+            f'repro_serve_batch_size_bucket{{le="{size}"}} {cumulative}')
+    lines.append(f"repro_serve_batch_size_count {snap['batches_total']}")
+    lines.append("# TYPE repro_serve_batch_seconds_total counter")
+    lines.append(
+        f"repro_serve_batch_seconds_total {snap['batch_seconds_total']:.6f}")
+    lines.append("# TYPE repro_serve_latency_seconds summary")
+    for q, key in (("0.5", "p50"), ("0.99", "p99")):
+        lines.append(
+            f'repro_serve_latency_seconds{{quantile="{q}"}} '
+            f"{snap['latency_seconds'][key]:.6f}")
+    for name, seconds in sorted(
+            snap.get("profile_regions_seconds", {}).items()):
+        lines.append(
+            f'repro_serve_profile_region_seconds{{region="{name}"}} '
+            f"{seconds:.6f}")
+    for name, value in sorted((gauges or {}).items()):
+        lines.append(f"# TYPE repro_serve_{name} gauge")
+        lines.append(f"repro_serve_{name} {value:g}")
+    return "\n".join(lines) + "\n"
+
+
+def render_cluster_prometheus(snap: dict) -> str:
+    """Exposition for a cluster snapshot (front-end + cluster gauges).
+
+    ``snap`` is a :meth:`ClusterEngine.metrics_snapshot` dict: front-end
+    counters at the top level, a ``cluster`` gauge block and per-worker
+    snapshots under ``workers``.
+    """
+    cluster = snap.get("cluster", {})
+    text = render_snapshot(snap)
+    lines = [text.rstrip("\n")]
+    for name in ("workers_alive", "workers_total", "workers_lost",
+                 "generation"):
+        if name in cluster:
+            lines.append(f"# TYPE repro_serve_cluster_{name} gauge")
+            lines.append(f"repro_serve_cluster_{name} {cluster[name]}")
+    for wid, depth in sorted(cluster.get("shard_queue_depths", {}).items()):
+        lines.append(
+            f'repro_serve_shard_queue_depth{{worker="{wid}"}} {depth}')
+    for wid, worker in sorted(snap.get("workers", {}).items()):
+        for metric, key in (
+                ("requests_total", "requests_total"),
+                ("sessions_total", "sessions_total"),
+                ("batches_total", "batches_total")):
             lines.append(
-                f'repro_serve_latency_seconds{{quantile="{q}"}} '
-                f"{snap['latency_seconds'][key]:.6f}")
-        for name, seconds in sorted((regions or {}).items()):
-            lines.append(
-                f'repro_serve_profile_region_seconds{{region="{name}"}} '
-                f"{seconds:.6f}")
-        return "\n".join(lines) + "\n"
+                f'repro_serve_worker_{metric}{{worker="{wid}"}} '
+                f"{worker.get(key, 0)}")
+        lines.append(
+            f'repro_serve_worker_batch_seconds_total{{worker="{wid}"}} '
+            f"{worker.get('batch_seconds_total', 0.0):.6f}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,128 @@
+"""Per-tenant token-bucket rate limiting for the serving tier.
+
+The bounded micro-batch queue (429 backpressure) protects the *model*
+from aggregate overload, but it is tenant-blind: one noisy client can
+fill the queue and starve everyone else.  The
+:class:`TenantRateLimiter` layers per-tenant token buckets in front of
+the queue, so a tenant that exceeds its sustained rate gets its own
+``429 rate_limited`` while other tenants keep scoring.
+
+Buckets refill continuously at ``rate`` tokens/second up to ``burst``
+capacity; one token pays for one session (a batch request spends one
+token per session, so batching cannot be used to dodge the limit).
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .config import ServeConfig
+from .schemas import RequestError
+
+__all__ = ["TokenBucket", "TenantRateLimiter", "DEFAULT_TENANT"]
+
+DEFAULT_TENANT = "default"
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (not thread-safe on its own;
+    :class:`TenantRateLimiter` serialises access)."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+
+    @property
+    def tokens(self) -> float:
+        """Current balance (refilled to now)."""
+        self._refill()
+        return self._tokens
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._stamp = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if the balance allows; never blocks."""
+        self._refill()
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+
+class TenantRateLimiter:
+    """One :class:`TokenBucket` per tenant, created on first sight.
+
+    Every tenant gets the same ``rate``/``burst``; isolation comes from
+    the buckets being independent — exhausting one tenant's bucket
+    leaves every other tenant's balance untouched.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(rate, 1.0)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._allowed: dict[str, int] = {}
+        self._limited: dict[str, int] = {}
+
+    @classmethod
+    def from_config(cls, config: ServeConfig) -> "TenantRateLimiter | None":
+        """``None`` when the config leaves rate limiting disabled."""
+        if config.rate_limit_rps is None:
+            return None
+        return cls(config.rate_limit_rps, config.burst)
+
+    def check(self, tenant: str | None, sessions: int = 1) -> None:
+        """Spend ``sessions`` tokens for ``tenant`` or raise 429.
+
+        Raises :class:`RequestError` with code ``rate_limited`` (HTTP
+        429) when the tenant's bucket cannot cover the request; the
+        error's ``details`` name the tenant and its limit so clients
+        can tell backpressure (``queue_full``) from throttling.
+        """
+        tenant = tenant or DEFAULT_TENANT
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock)
+            if bucket.try_acquire(sessions):
+                self._allowed[tenant] = self._allowed.get(tenant, 0) + sessions
+                return
+            self._limited[tenant] = self._limited.get(tenant, 0) + sessions
+        raise RequestError(
+            "rate_limited",
+            f"tenant {tenant!r} exceeded {self.rate:g} sessions/s "
+            f"(burst {self.burst:g})",
+            status=429,
+            details={"tenant": tenant, "rate_limit_rps": self.rate,
+                     "rate_limit_burst": self.burst},
+        )
+
+    def snapshot(self) -> dict:
+        """Per-tenant allowed/limited counters for ``/metrics``."""
+        with self._lock:
+            tenants = sorted(set(self._allowed) | set(self._limited))
+            return {
+                tenant: {"allowed_total": self._allowed.get(tenant, 0),
+                         "limited_total": self._limited.get(tenant, 0)}
+                for tenant in tenants
+            }

@@ -11,8 +11,17 @@ Wire format for one session::
     {"activities": ["login", "email", ...], "session_id": "optional"}
 
 Activities may be vocabulary token strings or integer activity ids
-(mixing is allowed).  ``POST /score`` accepts either a single session
-object or ``{"sessions": [...]}``.
+(mixing is allowed).  ``POST /v1/score`` accepts either a single
+session object or ``{"sessions": [...]}``.
+
+Error envelope
+--------------
+Every error — validation, backpressure, rate limiting, timeouts,
+internal failures — serialises through :meth:`RequestError.to_envelope`
+and nowhere else::
+
+    {"error": {"code": "...", "message": "...", "status": 429,
+               "details": {...}}}          # details only when present
 """
 
 from __future__ import annotations
@@ -36,17 +45,29 @@ class RequestError(Exception):
     """A client-visible, structured request failure.
 
     ``code`` is a stable machine-readable identifier, ``status`` the
-    HTTP status the server should answer with.
+    HTTP status the server should answer with, ``details`` an optional
+    JSON-serialisable payload (e.g. the throttled tenant).
     """
 
-    def __init__(self, code: str, message: str, status: int = 400):
+    def __init__(self, code: str, message: str, status: int = 400,
+                 details: dict | None = None):
         super().__init__(message)
         self.code = code
         self.message = message
         self.status = status
+        self.details = details
 
-    def to_dict(self) -> dict[str, str]:
-        return {"error": self.code, "message": self.message}
+    def to_envelope(self) -> dict[str, Any]:
+        """The one place a serving error becomes a JSON body."""
+        error: dict[str, Any] = {"code": self.code, "message": self.message,
+                                 "status": int(self.status)}
+        if self.details is not None:
+            error["details"] = self.details
+        return {"error": error}
+
+    # Pre-/v1 alias; kept so old call sites serialise through the same
+    # envelope instead of growing a second format.
+    to_dict = to_envelope
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,6 +86,11 @@ class ScoreResult:
     not finite", ...).  A non-finite score is serialised as JSON null —
     NaN is not valid JSON and ``json.dumps`` would otherwise emit the
     non-standard ``NaN`` literal that many clients reject.
+
+    ``generation`` tags which loaded model produced the score (0 for
+    the initially loaded archive, +1 per rolling reload) so responses
+    remain attributable across a reload.  ``worker`` names the cluster
+    shard that scored the session (``None`` when served in-process).
     """
 
     session_id: str
@@ -74,6 +100,8 @@ class ScoreResult:
     oov_count: int = 0
     embedding: tuple | None = None
     warnings: tuple[str, ...] = ()
+    generation: int | None = None
+    worker: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         finite = math.isfinite(self.score)
@@ -85,6 +113,10 @@ class ScoreResult:
                       for p in self.probs],
             "oov_count": int(self.oov_count),
         }
+        if self.generation is not None:
+            out["generation"] = int(self.generation)
+        if self.worker is not None:
+            out["worker"] = int(self.worker)
         if self.embedding is not None:
             out["embedding"] = [float(v) for v in self.embedding]
         if self.warnings:
@@ -130,7 +162,7 @@ def parse_session(payload: Any) -> RawSession:
 
 
 def parse_score_request(payload: Any) -> tuple[list[RawSession], bool]:
-    """Parse a ``/score`` body: one session or ``{"sessions": [...]}``.
+    """Parse a ``/v1/score`` body: one session or ``{"sessions": [...]}``.
 
     Returns ``(sessions, is_batch)`` so the responder can mirror the
     request shape.

@@ -1,23 +1,39 @@
-"""Stdlib HTTP front end for the inference engine.
+"""Stdlib HTTP front end for the inference engine / scoring cluster.
 
 ``python -m repro serve --model model.npz`` starts a
 :class:`ThreadingHTTPServer` where each connection thread parses the
-request, submits its sessions to the shared
-:class:`~repro.serve.engine.InferenceEngine`, and blocks on the
-futures — the micro-batcher turns that blocking concurrency into padded
-model batches.
+request, submits its sessions to the shared engine —
+:class:`~repro.serve.engine.InferenceEngine` in-process, or a sharded
+:class:`~repro.serve.cluster.ClusterEngine` when ``--workers N>1`` —
+and blocks on the futures; the per-process micro-batchers turn that
+blocking concurrency into padded model batches.
 
-Endpoints
----------
-``POST /score``
+Versioned API (v1)
+------------------
+``POST /v1/score``
     Body: one session object or ``{"sessions": [...]}`` (see
-    :mod:`repro.serve.schemas`).  Responds with the matching shape:
-    a result object, or ``{"results": [...]}``.
-``GET /healthz``
-    Liveness + queue depth.
-``GET /metrics``
+    :mod:`repro.serve.schemas`).  Responds with the matching shape: a
+    result object, or ``{"results": [...]}``.  The optional
+    ``X-Tenant`` header names the rate-limiting tenant.
+``GET /v1/healthz``
+    Liveness, queue depth, model generation (and worker counts for a
+    cluster).
+``GET /v1/metrics``
     Prometheus-style text exposition (``?format=json`` for the JSON
-    snapshot).
+    snapshot; cluster deployments aggregate per-worker series).
+``POST /v1/reload``
+    Body ``{"model": "path.npz"}``: rolling reload to a new archive;
+    responds with the new generation.
+
+The unversioned spellings (``/score``, ``/healthz``, ``/metrics``,
+``/reload``) answer **307 Temporary Redirect** to their ``/v1``
+equivalents — method-preserving, so a non-following client sees exactly
+where to go and a following one keeps POSTing.
+
+Every error — validation, backpressure, rate limiting, timeouts,
+internal failures, unknown routes — serialises through
+:meth:`RequestError.to_envelope`, in exactly one place
+(:meth:`_Handler._fail`).
 """
 
 from __future__ import annotations
@@ -29,13 +45,15 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import urlparse
 
+from .config import ServeConfig, resolve_config
 from .engine import InferenceEngine
 from .schemas import RequestError, parse_score_request
 
-__all__ = ["ServingServer", "run_server"]
+__all__ = ["ServingServer", "run_server", "API_PREFIX"]
 
+API_PREFIX = "/v1"
 _MAX_BODY_BYTES = 8 * 1024 * 1024
-_SCORE_TIMEOUT_S = 30.0
+_LEGACY_ROUTES = {"/score", "/healthz", "/metrics", "/reload"}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -46,54 +64,67 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = urlparse(self.path).path
-        if path == "/healthz":
-            self._respond(200, {
-                "status": "ok",
-                "queue_depth": self.server.engine.queue_depth,
-                "model": self.server.model_name,
-            })
-        elif path == "/metrics":
+        parsed = urlparse(self.path)
+        path = parsed.path
+        if self._maybe_redirect(parsed):
+            return
+        if path == f"{API_PREFIX}/healthz":
+            health = self.server.engine.health()
+            health["model"] = self.server.model_name
+            self._respond(200, health)
+        elif path == f"{API_PREFIX}/metrics":
             engine = self.server.engine
-            if "format=json" in (urlparse(self.path).query or ""):
-                self._respond(
-                    200, engine.metrics.snapshot(engine.profiler.regions))
+            if "format=json" in (parsed.query or ""):
+                self._respond(200, engine.metrics_snapshot())
             else:
-                body = engine.metrics.render_prometheus(
-                    engine.profiler.regions).encode("utf-8")
-                self._send_bytes(200, body, "text/plain; version=0.0.4")
+                self._send_bytes(200,
+                                 engine.metrics_prometheus().encode("utf-8"),
+                                 "text/plain; version=0.0.4")
         else:
-            self._respond(404, {"error": "not_found",
-                                "message": f"no route for {path}"})
+            self._fail(RequestError("not_found", f"no route for {path}",
+                                    status=404))
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path = urlparse(self.path).path
-        if path != "/score":
-            self._respond(404, {"error": "not_found",
-                                "message": f"no route for {path}"})
+        parsed = urlparse(self.path)
+        path = parsed.path
+        if self._maybe_redirect(parsed):
             return
+        if path == f"{API_PREFIX}/score":
+            self._score()
+        elif path == f"{API_PREFIX}/reload":
+            self._reload()
+        else:
+            self._fail(RequestError("not_found", f"no route for {path}",
+                                    status=404))
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    def _score(self) -> None:
         engine = self.server.engine
+        tenant = self.headers.get("X-Tenant") or None
         start = time.perf_counter()
         try:
             payload = self._read_json()
             sessions, is_batch = parse_score_request(payload)
-            results = engine.score_many(sessions,
-                                        timeout=self.server.score_timeout)
+            results = engine.score_many(
+                sessions, timeout=self.server.config.score_timeout_s,
+                tenant=tenant)
         except RequestError as exc:
             engine.metrics.record_request(time.perf_counter() - start,
                                           error=exc.code)
-            self._respond(exc.status, exc.to_dict())
+            self._fail(exc)
             return
         except FutureTimeoutError:
             engine.metrics.record_request(time.perf_counter() - start,
                                           error="timeout")
-            self._respond(504, {"error": "timeout",
-                                "message": "scoring timed out"})
+            self._fail(RequestError("timeout", "scoring timed out",
+                                    status=504))
             return
         except Exception as exc:  # noqa: BLE001 - boundary: report, don't die
             engine.metrics.record_request(time.perf_counter() - start,
                                           error="internal")
-            self._respond(500, {"error": "internal", "message": str(exc)})
+            self._fail(RequestError("internal", str(exc), status=500))
             return
         engine.metrics.record_request(time.perf_counter() - start,
                                       sessions=len(results))
@@ -102,7 +133,49 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._respond(200, results[0].to_dict())
 
+    def _reload(self) -> None:
+        try:
+            payload = self._read_json()
+            if not isinstance(payload, dict) \
+                    or not isinstance(payload.get("model"), str):
+                raise RequestError(
+                    "invalid_request",
+                    'reload body must be {"model": "<archive path>"}')
+            try:
+                generation = self.server.engine.reload(payload["model"])
+            except FileNotFoundError:
+                raise RequestError(
+                    "model_not_found",
+                    f"no archive at {payload['model']!r}",
+                    status=404) from None
+        except RequestError as exc:
+            self._fail(exc)
+            return
+        except Exception as exc:  # noqa: BLE001 - boundary
+            self._fail(RequestError("internal", str(exc), status=500))
+            return
+        self._respond(200, {"generation": generation,
+                            "model": payload["model"]})
+
     # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _maybe_redirect(self, parsed) -> bool:
+        """307 an unversioned path to its ``/v1`` spelling."""
+        if parsed.path not in _LEGACY_ROUTES:
+            return False
+        location = API_PREFIX + parsed.path
+        if parsed.query:
+            location += f"?{parsed.query}"
+        body = json.dumps({"location": location}).encode("utf-8")
+        self.send_response(307)
+        self.send_header("Location", location)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        return True
+
     def _read_json(self):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -118,6 +191,10 @@ class _Handler(BaseHTTPRequestHandler):
             raise RequestError("invalid_json",
                                f"body is not valid JSON: {exc}") from None
 
+    def _fail(self, exc: RequestError) -> None:
+        """The single point where serving errors become HTTP responses."""
+        self._respond(exc.status, exc.to_envelope())
+
     def _respond(self, status: int, payload: dict) -> None:
         self._send_bytes(status, json.dumps(payload).encode("utf-8"),
                          "application/json")
@@ -131,29 +208,33 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def log_message(self, fmt: str, *args) -> None:  # pragma: no cover
-        if self.server.verbose:
+        if self.server.config.verbose:
             super().log_message(fmt, *args)
 
 
 class ServingServer(ThreadingHTTPServer):
-    """A threading HTTP server bound to one inference engine.
+    """A threading HTTP server bound to one scoring engine.
 
-    ``port=0`` binds an ephemeral port (tests); read ``.port`` after
-    construction.  Use as a context manager, or call
-    :meth:`start_background` / :meth:`shutdown` explicitly.
+    ``engine`` is an :class:`InferenceEngine` or
+    :class:`~repro.serve.cluster.ClusterEngine`; the server only uses
+    the shared surface (``score_many`` / ``health`` / ``reload`` /
+    ``metrics_*``).  With no explicit ``config`` the engine's own is
+    reused, so host/port/timeouts are stated once.  ``port=0`` binds an
+    ephemeral port (tests); read ``.port`` after construction.  Use as
+    a context manager, or call :meth:`start_background` /
+    :meth:`shutdown` explicitly.
     """
 
     daemon_threads = True
 
-    def __init__(self, engine: InferenceEngine, host: str = "127.0.0.1",
-                 port: int = 8000, model_name: str = "clfd",
-                 score_timeout: float = _SCORE_TIMEOUT_S,
-                 verbose: bool = False):
-        super().__init__((host, port), _Handler)
+    def __init__(self, engine, config: ServeConfig | None = None,
+                 model_name: str = "clfd", **legacy):
+        if config is None and not legacy:
+            config = getattr(engine, "config", None)
+        self.config = resolve_config(config, legacy, "ServingServer")
+        super().__init__((self.config.host, self.config.port), _Handler)
         self.engine = engine
         self.model_name = model_name
-        self.score_timeout = score_timeout
-        self.verbose = verbose
         self._thread: threading.Thread | None = None
 
     @property
@@ -167,6 +248,16 @@ class ServingServer(ThreadingHTTPServer):
         self._thread.start()
 
     def shutdown(self) -> None:
+        """Drain, then stop.
+
+        The engine is closed *first*: closing drains the micro-batcher,
+        so handler threads blocked on scoring futures see them resolve
+        and flush their responses before the HTTP loop stops.  (The old
+        order — stop HTTP, leave the engine running — abandoned every
+        in-flight future when the process exited: clients got reset
+        connections and the batcher's promises were never kept.)
+        """
+        self.engine.close()
         super().shutdown()
         if self._thread is not None:
             self._thread.join(timeout=5.0)
@@ -177,22 +268,37 @@ class ServingServer(ThreadingHTTPServer):
         super().__exit__(*exc)
 
 
-def run_server(model_path: str, host: str = "127.0.0.1", port: int = 8000,
-               max_batch: int = 32, max_wait_ms: float = 2.0,
-               max_queue: int = 1024, verbose: bool = True) -> None:
-    """Blocking entry point behind ``python -m repro serve``."""
-    engine = InferenceEngine.from_archive(
-        model_path, max_batch=max_batch, max_wait_ms=max_wait_ms,
-        max_queue=max_queue,
-    )
-    server = ServingServer(engine, host=host, port=port,
-                           model_name=str(model_path), verbose=verbose)
-    print(f"serving {model_path} on http://{host}:{server.port} "
-          f"(max_batch={max_batch}, max_wait_ms={max_wait_ms})", flush=True)
+def run_server(model_path: str, config: ServeConfig | None = None,
+               **legacy) -> None:
+    """Blocking entry point behind ``python -m repro serve``.
+
+    ``config.workers > 1`` starts the sharded multi-process cluster
+    (weights in shared memory, consistent-hash session affinity);
+    otherwise a single in-process engine.
+    """
+    config = resolve_config(config, legacy, "run_server")
+    if config.workers > 1:
+        from .cluster import ClusterEngine
+
+        engine = ClusterEngine(model_path, config)
+    else:
+        engine = InferenceEngine.from_archive(model_path, config)
+    server = ServingServer(engine, config, model_name=str(model_path))
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    try:  # graceful drain (and shm unlink) on SIGTERM, not just ^C
+        import signal
+
+        signal.signal(signal.SIGTERM, _terminate)
+    except ValueError:  # pragma: no cover - not the main thread
+        pass
+    print(f"serving {model_path} on http://{config.host}:{server.port} "
+          f"(workers={config.workers}, max_batch={config.max_batch}, "
+          f"max_wait_ms={config.max_wait_ms})", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
         server.shutdown()
-        engine.close()

@@ -1,0 +1,207 @@
+"""Model archives in POSIX shared memory: one warm load, N readers.
+
+A serving cluster must not pay one archive load (and one resident copy
+of the weights) per worker process.  :class:`SharedArchive` publishes an
+archive's arrays into a single ``multiprocessing.shared_memory``
+segment exactly once; each worker then *attaches* by name and gets
+read-only, zero-copy ``np.ndarray`` views over the same physical pages,
+which :func:`repro.core.build_clfd` binds directly into module
+parameters (``bind=True``).
+
+The picklable :attr:`manifest` carries everything a worker needs to
+attach: segment name, model generation, the archive's JSON metadata and
+the per-array ``(dtype, shape, offset)`` table.  Rolling reloads
+publish the next generation into a *fresh* segment; the old one is
+unlinked only after every worker has flipped and drained.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArchive"]
+
+_ALIGN = 64  # cache-line align every array within the segment
+
+# SharedMemory wrappers whose mapping still had live numpy views at
+# close() time: parked here so garbage collection cannot unmap pages
+# under a view (the OS reclaims them at process exit).
+_LIVE_LEAKS: list = []
+
+
+def _layout(arrays: dict[str, np.ndarray]) -> tuple[list[dict], int]:
+    """Compute per-array offsets; returns (table, total_bytes)."""
+    table: list[dict] = []
+    offset = 0
+    for key in sorted(arrays):
+        value = arrays[key]
+        table.append({"key": key, "dtype": str(value.dtype),
+                      "shape": list(value.shape), "offset": offset})
+        nbytes = int(value.nbytes)
+        offset += (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+    return table, max(offset, 1)
+
+
+def _views(shm: shared_memory.SharedMemory, table: list[dict],
+           writeable: bool) -> dict[str, np.ndarray]:
+    out: dict[str, np.ndarray] = {}
+    for entry in table:
+        view = np.ndarray(tuple(entry["shape"]),
+                          dtype=np.dtype(entry["dtype"]),
+                          buffer=shm.buf, offset=entry["offset"])
+        view.flags.writeable = writeable
+        out[entry["key"]] = view
+    return out
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    Before Python 3.13 every ``SharedMemory(name=...)`` attach registers
+    the segment with the resource tracker, which unlinks it when the
+    attaching process exits — a worker death would destroy the segment
+    under every other worker (bpo-38119).  3.13 grew ``track=False``; on
+    older interpreters we suppress the registration call itself.
+    (Attach-then-``unregister`` is not equivalent: the tracker keys a
+    plain *set* per resource type, so N attachers registering and
+    unregistering one segment name race each other and the owner.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shm(res_name, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(res_name, rtype)
+
+    resource_tracker.register = _skip_shm
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArchive:
+    """One model generation's arrays, resident in a shared segment."""
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: dict,
+                 arrays: dict[str, np.ndarray], owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self._arrays: dict[str, np.ndarray] | None = arrays
+        self._owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, meta: dict, arrays: dict[str, np.ndarray], *,
+                generation: int = 0) -> "SharedArchive":
+        """Create a segment and copy ``arrays`` in (the one warm load)."""
+        table, total = _layout(arrays)
+        shm = shared_memory.SharedMemory(
+            create=True, size=total,
+            name=f"repro-serve-{os.getpid()}-g{generation}-{os.urandom(4).hex()}")
+        views = _views(shm, table, writeable=True)
+        for key, view in views.items():
+            view[...] = arrays[key]
+            view.flags.writeable = False
+        manifest = {"segment": shm.name, "generation": int(generation),
+                    "meta": meta, "arrays": table}
+        return cls(shm, manifest, views, owner=True)
+
+    @classmethod
+    def publish_archive(cls, path: str | os.PathLike, *,
+                        generation: int = 0) -> "SharedArchive":
+        """Load a persisted CLFD archive once and publish it."""
+        from ..core.persistence import read_archive
+
+        meta, arrays = read_archive(path)
+        return cls.publish(meta, arrays, generation=generation)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SharedArchive":
+        """Map an already-published segment: read-only zero-copy views."""
+        shm = _attach_untracked(manifest["segment"])
+        views = _views(shm, manifest["arrays"], writeable=False)
+        return cls(shm, manifest, views, owner=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        if self._arrays is None:
+            raise RuntimeError("shared archive is closed")
+        return self._arrays
+
+    @property
+    def generation(self) -> int:
+        return int(self.manifest["generation"])
+
+    @property
+    def nbytes(self) -> int:
+        if not self.manifest["arrays"]:
+            return 0
+        last = self.manifest["arrays"][-1]
+        rows = int(np.prod(last["shape"])) if last["shape"] else 1
+        return last["offset"] + rows * np.dtype(last["dtype"]).itemsize
+
+    def close(self) -> None:
+        """Drop our views and, when provably safe, the mapping itself.
+
+        ``np.ndarray(buffer=shm.buf)`` resolves its base to the
+        underlying ``mmap`` *without* holding a buffer export, so
+        ``SharedMemory.close()`` happily unmaps pages under live views
+        and the next read segfaults.  We only unmap when the mmap's
+        refcount shows no view outside this object is left; otherwise
+        the wrapper is parked on a module-level keep-alive list (so its
+        ``__del__`` cannot unmap either) and the OS reclaims the
+        mapping at process exit.
+        """
+        self._arrays = None
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        mm = getattr(shm, "_mmap", None)
+        # Baseline references to the mmap with no live views:
+        # shm._mmap, shm._buf's exporter ref, and getrefcount's arg.
+        if mm is None or sys.getrefcount(mm) <= 3:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - belt and braces
+                _LIVE_LEAKS.append(shm)
+        else:
+            _LIVE_LEAKS.append(shm)
+
+    def unlink(self) -> None:
+        """Remove the segment's name (owner only).  Existing mappings —
+        workers still draining the old generation — stay valid until
+        they close; the memory is freed when the last one does."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            if self._shm is not None:
+                self._shm.unlink()
+            else:  # closed first; remove the name directly
+                from multiprocessing import resource_tracker
+                from multiprocessing.shared_memory import _posixshmem
+
+                _posixshmem.shm_unlink("/" + self.manifest["segment"])
+                resource_tracker.unregister(
+                    "/" + self.manifest["segment"], "shared_memory")
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __enter__(self) -> "SharedArchive":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+        self.close()

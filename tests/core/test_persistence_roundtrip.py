@@ -105,12 +105,13 @@ def test_save_rejects_unfitted_model(tmp_path):
 
 def test_loaded_model_serves_v2_tokens(fitted, tiny_data, tmp_path):
     """The archive vocabulary is enough to score raw token sessions."""
-    from repro.serve import InferenceEngine
+    from repro.serve import InferenceEngine, ServeConfig
 
     train, _ = tiny_data
     restored = load_clfd(save_clfd(fitted, tmp_path / "serve.npz"))
     tokens = train.vocab.decode(train.sessions[0].activities)
-    with InferenceEngine(restored, max_wait_ms=0, warmup=False) as engine:
+    config = ServeConfig(max_wait_ms=0, warmup=False)
+    with InferenceEngine(restored, config) as engine:
         result = engine.score({"activities": tokens})
     assert result.oov_count == 0
     assert 0.0 <= result.score <= 1.0

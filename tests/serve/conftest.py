@@ -27,11 +27,29 @@ def serve_split():
     return train, test
 
 
-@pytest.fixture(scope="session")
-def served_model(serve_split, tmp_path_factory):
-    """A fitted CLFD persisted + reloaded, as a serving process sees it."""
+def _train_archive(serve_split, tmp_path_factory, seed, name):
     train, _ = serve_split
     model = CLFD(CLFDConfig(**SERVE_CONFIG)).fit(
-        train, rng=np.random.default_rng(0))
-    path = save_clfd(model, tmp_path_factory.mktemp("serve") / "model")
-    return load_clfd(path)
+        train, rng=np.random.default_rng(seed))
+    return save_clfd(model, tmp_path_factory.mktemp("serve") / name)
+
+
+@pytest.fixture(scope="session")
+def served_archive(serve_split, tmp_path_factory):
+    """Path of a persisted tiny CLFD archive (the cluster's input)."""
+    return _train_archive(serve_split, tmp_path_factory, seed=0,
+                          name="model")
+
+
+@pytest.fixture(scope="session")
+def served_archive_v2(serve_split, tmp_path_factory):
+    """A *differently-seeded* archive, for rolling-reload tests: its
+    scores measurably differ from ``served_archive``'s."""
+    return _train_archive(serve_split, tmp_path_factory, seed=1,
+                          name="model-v2")
+
+
+@pytest.fixture(scope="session")
+def served_model(served_archive):
+    """A fitted CLFD persisted + reloaded, as a serving process sees it."""
+    return load_clfd(served_archive)

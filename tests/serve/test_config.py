@@ -1,0 +1,95 @@
+"""ServeConfig: validation, derived views, and the deprecation shim."""
+
+import warnings
+
+import pytest
+
+from repro.serve import ServeConfig, resolve_config
+
+
+def test_defaults_are_valid():
+    config = ServeConfig()
+    assert config.max_batch == 32
+    assert config.workers == 1
+    assert config.rate_limit_rps is None
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_batch": 0},
+    {"max_wait_ms": -1.0},
+    {"max_queue": 0},
+    {"workers": 0},
+    {"port": 70000},
+    {"port": -1},
+    {"rate_limit_rps": 0.0},
+    {"rate_limit_burst": -2.0},
+    {"drain_timeout_s": 0.0},
+    {"score_timeout_s": -1.0},
+])
+def test_invalid_values_raise(kwargs):
+    with pytest.raises(ValueError):
+        ServeConfig(**kwargs)
+
+
+def test_config_is_frozen():
+    with pytest.raises(Exception):
+        ServeConfig().max_batch = 64  # type: ignore[misc]
+
+
+def test_replace_builds_a_new_validated_config():
+    config = ServeConfig().replace(workers=4)
+    assert config.workers == 4
+    with pytest.raises(ValueError):
+        config.replace(max_batch=0)
+
+
+def test_burst_defaults_to_rate():
+    assert ServeConfig().burst is None
+    assert ServeConfig(rate_limit_rps=5.0).burst == 5.0
+    assert ServeConfig(rate_limit_rps=0.5).burst == 1.0  # floor of one
+    assert ServeConfig(rate_limit_rps=5.0, rate_limit_burst=20.0).burst \
+        == 20.0
+
+
+def test_worker_config_strips_cluster_level_concerns():
+    config = ServeConfig(workers=4, rate_limit_rps=10.0, verbose=True,
+                         max_batch=8)
+    worker = config.worker_config()
+    assert worker.workers == 1
+    assert worker.rate_limit_rps is None
+    assert worker.verbose is False
+    assert worker.max_batch == 8  # batching knobs pass through
+
+
+def test_resolve_passes_explicit_config_through():
+    config = ServeConfig(max_batch=8)
+    assert resolve_config(config, {}, "X") is config
+    assert resolve_config(None, {}, "X") == ServeConfig()
+
+
+def test_resolve_legacy_emits_exactly_one_warning():
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        config = resolve_config(
+            None, {"max_batch": 8, "max_wait_ms": 1.0, "port": 0}, "X")
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    for name in ("max_batch", "max_wait_ms", "port"):
+        assert name in message
+    assert config == ServeConfig(max_batch=8, max_wait_ms=1.0, port=0)
+
+
+def test_resolve_maps_renamed_legacy_kwargs():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        config = resolve_config(None, {"score_timeout": 5.0}, "X")
+    assert config.score_timeout_s == 5.0
+
+
+def test_resolve_rejects_unknown_and_mixed():
+    with pytest.raises(TypeError):
+        resolve_config(None, {"max_btach": 8}, "X")
+    with pytest.raises(TypeError):
+        resolve_config(ServeConfig(), {"max_batch": 8}, "X")

@@ -3,12 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.serve import InferenceEngine, RequestError, ServingMetrics
+from repro.serve import (InferenceEngine, RequestError, ServeConfig,
+                         ServingMetrics)
 
 
 @pytest.fixture(scope="module")
 def engine(served_model):
-    eng = InferenceEngine(served_model, max_batch=8, max_wait_ms=1.0)
+    eng = InferenceEngine(served_model,
+                          ServeConfig(max_batch=8, max_wait_ms=1.0))
     yield eng
     eng.close()
 
@@ -77,8 +79,9 @@ def test_session_longer_than_max_len_is_truncated(engine, served_model):
 
 
 def test_queue_full_maps_to_429(served_model):
-    eng = InferenceEngine(served_model, max_batch=1, max_wait_ms=0,
-                          max_queue=1, warmup=False)
+    eng = InferenceEngine(
+        served_model, ServeConfig(max_batch=1, max_wait_ms=0,
+                                  max_queue=1, warmup=False))
     # Flood a single-slot queue until backpressure kicks in.
     futures, codes = [], []
     try:
@@ -93,8 +96,9 @@ def test_queue_full_maps_to_429(served_model):
 
 
 def test_include_embeddings(served_model):
-    with InferenceEngine(served_model, include_embeddings=True,
-                         max_wait_ms=0) as eng:
+    with InferenceEngine(
+            served_model, ServeConfig(include_embeddings=True,
+                                      max_wait_ms=0)) as eng:
         result = eng.score({"activities": [1, 2]})
     assert result.embedding is not None
     assert len(result.embedding) > 0
@@ -105,7 +109,8 @@ def test_include_embeddings(served_model):
 def test_batching_is_observable_in_metrics(served_model, serve_split):
     _, test = serve_split
     metrics = ServingMetrics()
-    with InferenceEngine(served_model, max_batch=16, max_wait_ms=20,
+    with InferenceEngine(served_model,
+                         ServeConfig(max_batch=16, max_wait_ms=20),
                          metrics=metrics) as eng:
         eng.score_many([_payload(test, row) for row in range(16)])
     sizes = metrics.snapshot()["batch_size_histogram"]
@@ -120,8 +125,9 @@ def test_token_requests_require_vocab(served_model):
     saved_vocab = vectorizer.vocab
     vectorizer.vocab = None  # simulate a format-v1 archive
     try:
-        with InferenceEngine(served_model, max_wait_ms=0,
-                             warmup=False) as eng:
+        with InferenceEngine(
+                served_model,
+                ServeConfig(max_wait_ms=0, warmup=False)) as eng:
             assert eng.score({"activities": [1]}).label in (0, 1)
             with pytest.raises(RequestError) as excinfo:
                 eng.score({"activities": ["login"]})
@@ -144,7 +150,8 @@ def test_non_finite_score_carries_structured_warning(served_model,
     verdict: the result carries a warnings entry and /score-style
     serialization turns the NaN into null."""
     _, test = serve_split
-    eng = InferenceEngine(served_model, max_batch=4, max_wait_ms=1.0)
+    eng = InferenceEngine(served_model,
+                          ServeConfig(max_batch=4, max_wait_ms=1.0))
     try:
         def broken_predict(dataset, return_embeddings=False):
             n = len(dataset)
@@ -166,3 +173,88 @@ def test_finite_score_has_no_warnings(engine, serve_split):
     result = engine.score(_payload(test, 1))
     assert result.warnings == ()
     assert "warnings" not in result.to_dict()
+
+
+def test_results_are_generation_tagged(engine):
+    result = engine.score({"activities": [1, 2]})
+    assert result.generation == 0
+    assert result.worker is None  # in-process, no cluster shard
+
+
+def test_rolling_reload_flips_generation(served_model, served_archive_v2):
+    from repro.core import load_clfd
+
+    eng = InferenceEngine(served_model, ServeConfig(max_wait_ms=1.0))
+    try:
+        payload = {"activities": [1, 2, 3], "session_id": "r1"}
+        before = eng.score(payload)
+        assert before.generation == 0
+        gen = eng.reload(served_archive_v2)
+        assert gen == 1 and eng.generation == 1
+        after = eng.score(payload)
+        assert after.generation == 1
+        # The reloaded engine scores exactly like a fresh engine over
+        # the new archive.
+        with InferenceEngine(load_clfd(served_archive_v2),
+                             ServeConfig(max_wait_ms=1.0)) as fresh:
+            assert after.score == fresh.score(payload).score
+    finally:
+        eng.close()
+
+
+def test_reload_drains_in_flight_requests(served_model, served_archive):
+    """Requests queued before the flip resolve against the generation
+    that accepted them — a reload drops nothing."""
+    eng = InferenceEngine(served_model,
+                          ServeConfig(max_batch=4, max_wait_ms=40.0))
+    try:
+        futures = [eng.submit({"activities": [1, 2], "session_id": f"g{i}"})
+                   for i in range(8)]
+        eng.reload(served_archive)  # same archive, next generation
+        results = [f.result(timeout=30) for f in futures]
+        assert all(r.generation == 0 for r in results)
+        assert eng.score({"activities": [1, 2]}).generation == 1
+    finally:
+        eng.close()
+
+
+def test_submit_after_close_is_structured_503(served_model):
+    eng = InferenceEngine(served_model,
+                          ServeConfig(max_wait_ms=0, warmup=False))
+    eng.close()
+    with pytest.raises(RequestError) as excinfo:
+        eng.submit({"activities": [1]})
+    assert excinfo.value.code == "shutting_down"
+    assert excinfo.value.status == 503
+
+
+def test_legacy_kwargs_warn_once_with_identical_behavior(served_model):
+    """The deprecation shim: one warning naming every legacy kwarg, and
+    a config equal to the explicitly-constructed one."""
+    import warnings
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        eng = InferenceEngine(served_model, max_batch=8, max_wait_ms=1.0,
+                              warmup=False)
+    try:
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        message = str(deprecations[0].message)
+        assert "max_batch" in message and "max_wait_ms" in message \
+            and "warmup" in message
+        assert eng.config == ServeConfig(max_batch=8, max_wait_ms=1.0,
+                                         warmup=False)
+    finally:
+        eng.close()
+
+
+def test_config_and_legacy_kwargs_together_is_type_error(served_model):
+    with pytest.raises(TypeError):
+        InferenceEngine(served_model, ServeConfig(), max_batch=8)
+
+
+def test_unknown_legacy_kwarg_is_type_error(served_model):
+    with pytest.raises(TypeError):
+        InferenceEngine(served_model, max_btach=8)

@@ -1,0 +1,93 @@
+"""Token buckets and per-tenant isolation, on an injectable clock."""
+
+import pytest
+
+from repro.serve import RequestError, ServeConfig, TenantRateLimiter
+from repro.serve.ratelimit import DEFAULT_TENANT, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_bucket_starts_full_and_refills_continuously():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+    assert bucket.tokens == 4.0
+    assert all(bucket.try_acquire() for _ in range(4))
+    assert not bucket.try_acquire()
+    clock.advance(0.5)  # 2/s * 0.5s = 1 token
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_caps_at_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+    clock.advance(60.0)
+    assert bucket.tokens == 3.0
+
+
+def test_bucket_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1.0)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0.0)
+
+
+def test_batch_spends_one_token_per_session():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=1.0, burst=10.0, clock=clock)
+    limiter.check("t", sessions=8)
+    with pytest.raises(RequestError) as excinfo:
+        limiter.check("t", sessions=3)  # only 2 left
+    assert excinfo.value.code == "rate_limited"
+    assert excinfo.value.status == 429
+    limiter.check("t", sessions=2)
+
+
+def test_tenants_are_isolated():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=1.0, burst=2.0, clock=clock)
+    limiter.check("noisy", sessions=2)
+    with pytest.raises(RequestError):
+        limiter.check("noisy")
+    # Another tenant's bucket is untouched.
+    limiter.check("quiet", sessions=2)
+    snap = limiter.snapshot()
+    assert snap["noisy"] == {"allowed_total": 2, "limited_total": 1}
+    assert snap["quiet"] == {"allowed_total": 2, "limited_total": 0}
+
+
+def test_none_tenant_maps_to_default():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=1.0, burst=1.0, clock=clock)
+    limiter.check(None)
+    assert limiter.snapshot()[DEFAULT_TENANT]["allowed_total"] == 1
+
+
+def test_error_details_name_the_tenant_and_limit():
+    clock = FakeClock()
+    limiter = TenantRateLimiter(rate=2.0, burst=1.0, clock=clock)
+    limiter.check("t")
+    with pytest.raises(RequestError) as excinfo:
+        limiter.check("t")
+    details = excinfo.value.details
+    assert details["tenant"] == "t"
+    assert details["rate_limit_rps"] == 2.0
+    assert details["rate_limit_burst"] == 1.0
+
+
+def test_from_config():
+    assert TenantRateLimiter.from_config(ServeConfig()) is None
+    limiter = TenantRateLimiter.from_config(
+        ServeConfig(rate_limit_rps=3.0, rate_limit_burst=9.0))
+    assert limiter is not None
+    assert limiter.rate == 3.0 and limiter.burst == 9.0

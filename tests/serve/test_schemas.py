@@ -66,10 +66,23 @@ def test_parse_score_request_rejects_bad_batches():
     assert _code(parse_score_request, oversize) == "too_many_sessions"
 
 
-def test_request_error_shape():
+def test_request_error_envelope_shape():
     err = RequestError("some_code", "explanation", status=429)
-    assert err.to_dict() == {"error": "some_code", "message": "explanation"}
+    assert err.to_envelope() == {"error": {"code": "some_code",
+                                           "message": "explanation",
+                                           "status": 429}}
+    # The legacy spelling serialises through the same envelope.
+    assert err.to_dict() == err.to_envelope()
     assert err.status == 429
+
+
+def test_request_error_envelope_carries_details():
+    err = RequestError("rate_limited", "slow down", status=429,
+                       details={"tenant": "noisy"})
+    envelope = err.to_envelope()
+    assert envelope["error"]["details"] == {"tenant": "noisy"}
+    bare = RequestError("x", "y").to_envelope()
+    assert "details" not in bare["error"]
 
 
 def test_score_result_serializes_finite_scores_plainly():

@@ -1,23 +1,24 @@
-"""HTTP front end: endpoints, error mapping, concurrent scoring."""
+"""HTTP front end: the v1 surface, error envelope, redirects, shutdown."""
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
 import pytest
 
-from repro.serve import InferenceEngine, ServingServer
+from repro.serve import InferenceEngine, ServeConfig, ServingServer
 
 
 @pytest.fixture(scope="module")
 def server(served_model):
-    engine = InferenceEngine(served_model, max_batch=16, max_wait_ms=2.0)
-    srv = ServingServer(engine, port=0, model_name="test-model")
+    engine = InferenceEngine(
+        served_model, ServeConfig(max_batch=16, max_wait_ms=2.0, port=0))
+    srv = ServingServer(engine, model_name="test-model")
     srv.start_background()
     yield srv
     srv.shutdown()
-    engine.close()
 
 
 def _request(server, path, payload=None, method=None):
@@ -39,7 +40,7 @@ def _json(server, path, payload=None, method=None):
 
 
 def test_score_single_session(server):
-    status, body = _json(server, "/score",
+    status, body = _json(server, "/v1/score",
                          {"activities": [1, 2, 3], "session_id": "abc"})
     assert status == 200
     assert body["session_id"] == "abc"
@@ -47,52 +48,91 @@ def test_score_single_session(server):
     assert 0.0 <= body["score"] <= 1.0
     assert len(body["probs"]) == 2
     assert body["oov_count"] == 0
+    assert body["generation"] == 0
 
 
 def test_score_batch(server):
     payload = {"sessions": [{"activities": [1, 2]},
                             {"activities": [3, 1, 2]},
                             {"activities": [2]}]}
-    status, body = _json(server, "/score", payload)
+    status, body = _json(server, "/v1/score", payload)
     assert status == 200
     assert len(body["results"]) == 3
     assert all("score" in r for r in body["results"])
 
 
-def test_malformed_body_is_structured_400(server):
-    status, body = _json(server, "/score", {"activities": []})
+def test_unversioned_get_redirects_and_resolves(server):
+    # urllib follows GET redirects, so the legacy spelling still works.
+    status, body = _json(server, "/healthz")
+    assert status == 200
+    assert body["status"] == "ok"
+    status, _, _ = _request(server, "/metrics?format=json")
+    assert status == 200
+
+
+def test_unversioned_post_is_method_preserving_307(server):
+    # urllib refuses to auto-follow POST redirects — which makes the
+    # bare 307 + Location observable.
+    status, headers, body = _request(
+        server, "/score", {"activities": [1]})
+    assert status == 307
+    assert headers["Location"] == "/v1/score"
+    assert json.loads(body)["location"] == "/v1/score"
+
+
+def test_redirect_preserves_query(server):
+    # Disable redirect-following so the 307 itself is observable.
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}/metrics?format=json")
+
+    class NoRedirect(urllib.request.HTTPRedirectHandler):
+        def redirect_request(self, *args, **kwargs):
+            return None
+
+    opener = urllib.request.build_opener(NoRedirect)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        opener.open(req, timeout=30)
+    assert excinfo.value.code == 307
+    assert excinfo.value.headers["Location"] == "/v1/metrics?format=json"
+
+
+def test_malformed_body_is_enveloped_400(server):
+    status, body = _json(server, "/v1/score", {"activities": []})
     assert status == 400
-    assert body["error"] == "empty_session"
-    assert "message" in body
+    assert body["error"]["code"] == "empty_session"
+    assert body["error"]["status"] == 400
+    assert "message" in body["error"]
 
 
 def test_invalid_json_is_400(server):
-    url = f"http://127.0.0.1:{server.port}/score"
+    url = f"http://127.0.0.1:{server.port}/v1/score"
     req = urllib.request.Request(url, data=b"{nope", method="POST")
     with pytest.raises(urllib.error.HTTPError) as excinfo:
         urllib.request.urlopen(req, timeout=30).read()
     assert excinfo.value.code == 400
-    assert json.loads(excinfo.value.read())["error"] == "invalid_json"
+    body = json.loads(excinfo.value.read())
+    assert body["error"]["code"] == "invalid_json"
 
 
 def test_empty_body_is_400(server):
-    status, body = _json(server, "/score", method="POST")
+    status, body = _json(server, "/v1/score", method="POST")
     assert status == 400
-    assert body["error"] == "empty_body"
+    assert body["error"]["code"] == "empty_body"
 
 
 def test_healthz(server):
-    status, body = _json(server, "/healthz")
+    status, body = _json(server, "/v1/healthz")
     assert status == 200
     assert body["status"] == "ok"
     assert body["model"] == "test-model"
     assert body["queue_depth"] >= 0
+    assert body["generation"] == 0
 
 
 def test_metrics_prometheus_text(server):
     # Generate at least one scored request first.
-    _json(server, "/score", {"activities": [1]})
-    status, headers, body = _request(server, "/metrics")
+    _json(server, "/v1/score", {"activities": [1]})
+    status, headers, body = _request(server, "/v1/metrics")
     text = body.decode()
     assert status == 200
     assert headers["Content-Type"].startswith("text/plain")
@@ -100,29 +140,32 @@ def test_metrics_prometheus_text(server):
     assert "repro_serve_batch_size_count" in text
     assert 'repro_serve_latency_seconds{quantile="0.99"}' in text
     assert 'repro_serve_profile_region_seconds{region="batch_forward"}' in text
+    assert "repro_serve_generation 0" in text
 
 
 def test_metrics_json_snapshot(server):
-    _json(server, "/score", {"activities": [1]})
-    status, body = _json(server, "/metrics?format=json")
+    _json(server, "/v1/score", {"activities": [1]})
+    status, body = _json(server, "/v1/metrics?format=json")
     assert status == 200
     assert body["requests_total"] >= 1
     assert body["sessions_total"] >= 1
     assert "p50" in body["latency_seconds"]
     assert "batch_forward" in body["profile_regions_seconds"]
+    assert body["generation"] == 0
 
 
-def test_unknown_route_is_404(server):
-    status, body = _json(server, "/nope")
+def test_unknown_route_is_enveloped_404(server):
+    status, body = _json(server, "/v1/nope")
     assert status == 404
-    assert body["error"] == "not_found"
-    status, body = _json(server, "/nope", {"activities": [1]})
+    assert body["error"]["code"] == "not_found"
+    status, body = _json(server, "/v1/nope", {"activities": [1]})
     assert status == 404
+    assert body["error"]["code"] == "not_found"
 
 
 def test_errors_show_up_in_metrics(server):
-    _json(server, "/score", {"activities": []})
-    status, body = _json(server, "/metrics?format=json")
+    _json(server, "/v1/score", {"activities": []})
+    status, body = _json(server, "/v1/metrics?format=json")
     assert status == 200
     assert body["errors_total"].get("empty_session", 0) >= 1
 
@@ -132,7 +175,7 @@ def test_concurrent_requests_all_succeed(server):
     lock = threading.Lock()
 
     def hit(i):
-        status, body = _json(server, "/score",
+        status, body = _json(server, "/v1/score",
                              {"activities": [1 + (i % 3), 2],
                               "session_id": f"c{i}"})
         with lock:
@@ -146,3 +189,94 @@ def test_concurrent_requests_all_succeed(server):
     assert len(statuses) == 24
     assert all(status == 200 for status, _ in statuses)
     assert {sid for _, sid in statuses} == {f"c{i}" for i in range(24)}
+
+
+def test_reload_endpoint(served_model, served_archive, served_archive_v2):
+    engine = InferenceEngine(served_model,
+                             ServeConfig(max_wait_ms=1.0, port=0))
+    srv = ServingServer(engine, model_name="reload-test")
+    srv.start_background()
+    try:
+        status, body = _json(srv, "/v1/score", {"activities": [1, 2]})
+        assert status == 200 and body["generation"] == 0
+        status, body = _json(srv, "/v1/reload",
+                             {"model": str(served_archive_v2)})
+        assert status == 200
+        assert body["generation"] == 1
+        status, body = _json(srv, "/v1/score", {"activities": [1, 2]})
+        assert status == 200 and body["generation"] == 1
+        # Bad paths and bodies come back as envelopes, not 500 soup.
+        status, body = _json(srv, "/v1/reload", {"model": "/no/such.npz"})
+        assert status == 404
+        assert body["error"]["code"] == "model_not_found"
+        status, body = _json(srv, "/v1/reload", {"nope": 1})
+        assert status == 400
+        assert body["error"]["code"] == "invalid_request"
+    finally:
+        srv.shutdown()
+
+
+def test_tenant_rate_limit_isolation(served_model):
+    """One throttled tenant 429s while another keeps scoring."""
+    engine = InferenceEngine(
+        served_model,
+        ServeConfig(max_wait_ms=1.0, port=0,
+                    rate_limit_rps=0.001, rate_limit_burst=3.0))
+    srv = ServingServer(engine, model_name="rl-test")
+    srv.start_background()
+    try:
+        def score_as(tenant):
+            url = f"http://127.0.0.1:{srv.port}/v1/score"
+            req = urllib.request.Request(
+                url, data=json.dumps({"activities": [1]}).encode(),
+                headers={"X-Tenant": tenant})
+            try:
+                with urllib.request.urlopen(req, timeout=30) as resp:
+                    return resp.status, json.loads(resp.read())
+            except urllib.error.HTTPError as exc:
+                return exc.code, json.loads(exc.read())
+
+        outcomes = [score_as("noisy")[0] for _ in range(6)]
+        assert outcomes.count(200) == 3  # burst, then throttled
+        assert outcomes.count(429) == 3
+        status, body = score_as("noisy")
+        assert status == 429
+        assert body["error"]["code"] == "rate_limited"
+        assert body["error"]["details"]["tenant"] == "noisy"
+        # The quiet tenant's bucket is untouched.
+        for _ in range(3):
+            status, _ = score_as("quiet")
+            assert status == 200
+        snap = engine.metrics_snapshot()
+        assert snap["rate_limiter"]["noisy"]["limited_total"] >= 4
+        assert snap["rate_limiter"]["quiet"]["limited_total"] == 0
+    finally:
+        srv.shutdown()
+
+
+def test_shutdown_drains_in_flight_futures(served_model, monkeypatch):
+    """Regression: shutdown() must resolve queued scoring futures.
+
+    The old order stopped the HTTP loop and left the batcher running;
+    handler threads blocked on futures were abandoned at process exit.
+    Now the engine drains first, so every submitted future is done by
+    the time shutdown() returns.
+    """
+    engine = InferenceEngine(
+        served_model, ServeConfig(max_batch=2, max_wait_ms=50.0, port=0))
+    srv = ServingServer(engine, model_name="drain-test")
+    srv.start_background()
+
+    real_predict = engine.model.predict
+
+    def slow_predict(dataset, **kwargs):
+        time.sleep(0.05)
+        return real_predict(dataset, **kwargs)
+
+    monkeypatch.setattr(engine.model, "predict", slow_predict)
+    futures = [engine.submit({"activities": [1, 2], "session_id": f"d{i}"})
+               for i in range(8)]
+    srv.shutdown()
+    assert all(f.done() for f in futures)
+    results = [f.result(timeout=0) for f in futures]
+    assert [r.session_id for r in results] == [f"d{i}" for i in range(8)]
