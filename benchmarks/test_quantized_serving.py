@@ -1,0 +1,167 @@
+"""Quantized serving benchmark: int8 inference vs the float path.
+
+The low-precision issue's acceptance criterion: the int8 runtime must
+score sessions at >= 1.5x the throughput of the full-precision float
+path (``precision=None``, the float64 archive default).  The mechanism
+is compute-dtype + fused projection — the quantized runtime does every
+GEMM in float32 against int8 weights cast once per projection (half the
+memory traffic of the float64 forward, no autograd tape), and the int8
+archive itself is ~4x smaller.  Measured ratios land around 2x on
+CI-class hosts at the GEMM-bound model size below; the 1.5x assertion
+is the regression floor, not the headline — ``results/latest.txt``
+records what was measured.
+
+The model is deliberately larger than the other serving benches
+(hidden 96, embedding 64) so the comparison is GEMM-bound rather than
+Python-overhead-bound, but trained for single epochs: throughput does
+not care whether the weights converged.
+
+Marked ``smoke``: the whole bench (train + quantize + three timed
+paths) is a few seconds and uses only the ``report`` fixture.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import load_clfd, save_clfd
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+from repro.serve import InferenceEngine, ServeConfig
+
+SPEEDUP_FLOOR = 1.5
+CONCURRENCY = 16
+REQUESTS = 128
+
+
+@pytest.fixture(scope="module")
+def quant_setup(tmp_path_factory):
+    rng = np.random.default_rng(23)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    config = CLFDConfig(
+        embedding_dim=64, hidden_size=96, batch_size=64, aux_batch_size=8,
+        ssl_epochs=1, supcon_epochs=1, classifier_epochs=1,
+        word2vec=Word2VecConfig(dim=64, epochs=1),
+    )
+    model = CLFD(config).fit(train, rng=np.random.default_rng(0))
+    archive = save_clfd(model,
+                        tmp_path_factory.mktemp("quant-bench") / "model")
+    payloads = [
+        {"activities": [int(a)
+                        for a in test.sessions[i % len(test)].activities],
+         "session_id": f"req-{i}"}
+        for i in range(REQUESTS)
+    ]
+    return archive, test, payloads
+
+
+def _batch_throughput(model, batch, reps=6):
+    """Sessions/second through the batched scoring path the engine and
+    cluster workers run (``model.predict`` over a full dataset)."""
+    model.predict(batch)  # warm-up: BLAS threads, dense caches
+    start = time.perf_counter()
+    for _ in range(reps):
+        model.predict(batch)
+    return reps * len(batch) / (time.perf_counter() - start)
+
+
+def _engine_throughput(engine, payloads, concurrency):
+    chunks = [payloads[i::concurrency] for i in range(concurrency)]
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(chunk):
+        barrier.wait(timeout=30)
+        for payload in chunk:
+            engine.score(payload)
+
+    threads = [threading.Thread(target=client, args=(chunk,))
+               for chunk in chunks]
+    for t in threads:
+        t.start()
+    barrier.wait(timeout=30)
+    start = time.perf_counter()
+    for t in threads:
+        t.join(timeout=120)
+    return len(payloads) / (time.perf_counter() - start)
+
+
+@pytest.mark.smoke
+def test_int8_scoring_throughput_floor(quant_setup, report):
+    """The acceptance floor: int8 >= 1.5x the float path, batch scoring."""
+    archive, test, _ = quant_setup
+    batch = test[list(range(len(test)))]
+
+    baseline = _batch_throughput(load_clfd(archive), batch)  # precision=None
+    f32 = _batch_throughput(load_clfd(archive, precision="float32"), batch)
+    f16 = _batch_throughput(load_clfd(archive, precision="float16"), batch)
+    int8 = _batch_throughput(load_clfd(archive, precision="int8"), batch)
+    speedup = int8 / baseline
+
+    report()
+    report(f"Quantized scoring throughput (batch={len(batch)}, "
+           f"hidden=96, embed=64):")
+    report(f"  full precision (float64) {baseline:8.0f} sessions/s")
+    report(f"  float32                  {f32:8.0f} sessions/s  "
+           f"({f32 / baseline:.2f}x)")
+    report(f"  float16                  {f16:8.0f} sessions/s  "
+           f"({f16 / baseline:.2f}x)")
+    report(f"  int8                     {int8:8.0f} sessions/s  "
+           f"({speedup:.2f}x)")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"int8 scoring only {speedup:.2f}x the float path "
+        f"(acceptance floor is {SPEEDUP_FLOOR}x)")
+
+
+@pytest.mark.smoke
+def test_int8_archive_is_smaller(quant_setup, report):
+    import pathlib
+    import tempfile
+
+    archive, _, _ = quant_setup
+    with tempfile.TemporaryDirectory() as tmp:
+        from repro.quant import quantize_archive
+
+        quantized = quantize_archive(archive, pathlib.Path(tmp) / "q")
+        ratio = archive.stat().st_size / quantized.stat().st_size
+        report()
+        report(f"Archive size: full {archive.stat().st_size / 1024:.0f} KiB"
+               f" -> int8 {quantized.stat().st_size / 1024:.0f} KiB "
+               f"({ratio:.1f}x smaller)")
+    assert ratio > 2.0  # float64 weights -> int8 payloads + f32 scales
+
+
+@pytest.mark.smoke
+def test_engine_throughput_and_p99_at_int8(quant_setup, report):
+    """End-to-end engine numbers at both precisions: throughput + p99.
+
+    Recorded, not floor-asserted — engine end-to-end includes queueing
+    and GIL effects that make small ratios noisy on shared CI hosts;
+    the kernel-level floor above is the enforced gate.
+    """
+    archive, _, payloads = quant_setup
+    rows = {}
+    for precision in (None, "int8"):
+        config = ServeConfig(max_batch=CONCURRENCY, max_wait_ms=2.0,
+                             precision=precision)
+        with InferenceEngine.from_archive(archive, config) as engine:
+            throughput = _engine_throughput(engine, payloads, CONCURRENCY)
+            # Client-side single-request latencies (the engine itself
+            # only times batches; the HTTP layer records per request).
+            for payload in payloads[:32]:
+                start = time.perf_counter()
+                engine.score(payload)
+                engine.metrics.record_request(time.perf_counter() - start)
+            p99 = engine.metrics.latency_quantiles()["p99"]
+            rows[engine.precision] = (throughput, p99)
+
+    report()
+    report(f"Engine end-to-end ({REQUESTS} requests, "
+           f"concurrency={CONCURRENCY}):")
+    for precision, (throughput, p99) in rows.items():
+        report(f"  {precision:<8} {throughput:8.0f} req/s   "
+               f"p99 {p99 * 1e3:7.2f} ms")
+    (_, full_p99), (_, int8_p99) = rows.values()
+    assert full_p99 > 0.0 and int8_p99 > 0.0

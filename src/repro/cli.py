@@ -9,6 +9,8 @@ Usage::
     python -m repro demo
     python -m repro save --out model.npz
     python -m repro serve --model model.npz
+    python -m repro quantize --model model.npz --out model-int8.npz
+    python -m repro distill --model model.npz --out student.npz
 
 Each command prints the measured table; scale/seed options map onto
 :class:`repro.experiments.ExperimentSettings`.
@@ -120,6 +122,36 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: the sustained rate)")
     serve.add_argument("--score-timeout", type=float, default=30.0,
                        help="server-side bound on one request's scoring wait")
+    serve.add_argument("--precision", default=None,
+                       choices=("float32", "float16", "int8"),
+                       help="serve through the low-precision runtime "
+                            "(quantizes full-precision archives on the "
+                            "fly; default: serve the archive as persisted)")
+
+    qz = sub.add_parser(
+        "quantize",
+        help="quantize a persisted archive for low-precision serving")
+    qz.add_argument("--model", required=True,
+                    help="source archive written by `repro save` / save_clfd")
+    qz.add_argument("--out", required=True,
+                    help="target quantized archive (.npz appended if missing)")
+    qz.add_argument("--precision", default="int8",
+                    choices=("float32", "float16", "int8"),
+                    help="storage precision for the detector weights")
+
+    ds = sub.add_parser(
+        "distill",
+        help="train a 1-layer student on a teacher archive's soft scores")
+    ds.add_argument("--model", required=True,
+                    help="fitted teacher archive")
+    ds.add_argument("--out", required=True,
+                    help="target student archive (.npz appended if missing)")
+    ds.add_argument("--dataset", default="cert",
+                    choices=("cert", "umd-wikipedia", "openstack"))
+    ds.add_argument("--epochs", type=int, default=None,
+                    help="distillation epochs "
+                         "(default: the config's classifier_epochs)")
+    ds.add_argument("--seed", type=int, default=0)
 
     tr = sub.add_parser(
         "train", help="checkpointed CLFD training with kill/resume support")
@@ -257,8 +289,13 @@ def main(argv: list[str] | None = None) -> int:
             max_batch=args.max_batch, max_wait_ms=args.max_wait_ms,
             max_queue=args.max_queue, rate_limit_rps=args.rate_limit_rps,
             rate_limit_burst=args.rate_limit_burst,
-            score_timeout_s=args.score_timeout, verbose=True)
+            score_timeout_s=args.score_timeout,
+            precision=args.precision, verbose=True)
         run_server(args.model, config)
+    elif args.command == "quantize":
+        _run_quantize(args)
+    elif args.command == "distill":
+        _run_distill(args, settings)
     return 0
 
 
@@ -347,6 +384,37 @@ def _run_train(args, settings: ExperimentSettings) -> int:
         path = save_clfd(model, args.out)
         print(f"saved model to {path}")
     return 0
+
+
+def _run_quantize(args) -> None:
+    import os
+
+    from .quant import quantize_archive
+
+    path = quantize_archive(args.model, args.out, precision=args.precision)
+    before = os.path.getsize(args.model if os.path.exists(args.model)
+                             else f"{args.model}.npz")
+    after = os.path.getsize(path)
+    print(f"quantized {args.model} -> {path} ({args.precision}, "
+          f"{before / 1024:.1f} KiB -> {after / 1024:.1f} KiB); serve it: "
+          f"python -m repro serve --model {path}")
+
+
+def _run_distill(args, settings: ExperimentSettings) -> None:
+    from .core import load_clfd, save_clfd
+    from .data import make_dataset
+    from .quant import distill_student
+
+    rng = np.random.default_rng(args.seed)
+    train, _ = make_dataset(args.dataset, rng, scale=settings.scale)
+    teacher = load_clfd(args.model)
+    print(f"distilling a 1-layer student from {args.model} on "
+          f"{args.dataset} (scale={settings.scale}) ...")
+    student = distill_student(teacher, train, epochs=args.epochs,
+                              rng=np.random.default_rng(args.seed))
+    path = save_clfd(student, args.out)
+    print(f"saved student to {path} (quantize it: python -m repro "
+          f"quantize --model {path} --out {path.stem}-int8)")
 
 
 def _run_save(args, settings: ExperimentSettings) -> None:

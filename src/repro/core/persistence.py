@@ -12,6 +12,14 @@ Format notes
 * Version 2 adds the activity vocabulary (token strings in id order) so
   a serving process can encode raw activity tokens; version-1 archives
   still load, with ``vectorizer.vocab`` left as ``None``.
+* Version 3 is the **quantized** inference-only format written by
+  :func:`repro.quant.quantize_archive`: int8/float16 payloads with
+  float32 scale companions and a ``meta["quant"]`` kind table.
+  :func:`build_clfd` (and therefore :func:`load_clfd` and the serving
+  cluster) transparently builds the low-precision runtime
+  (:class:`repro.quant.QuantizedCLFD`) for such archives; v1/v2
+  archives keep building the full CLFD.  ``load_clfd(path,
+  precision=...)`` quantizes a full-precision archive on the fly.
 * :func:`save_clfd` is atomic — the archive is written to a temp file in
   the target directory and renamed into place — and always writes a
   ``.npz`` suffix (``np.savez`` appends one silently, which used to
@@ -32,6 +40,7 @@ import numpy as np
 from ..data.pipeline import SessionVectorizer
 from ..data.vocab import Vocabulary
 from ..data.word2vec import SkipGramModel, Word2VecConfig
+from ..nn.serialize import save_arrays
 from .clfd import CLFD
 from .config import CLFDConfig
 from .fraud_detector import FraudDetector
@@ -41,7 +50,7 @@ __all__ = ["save_clfd", "load_clfd", "model_fingerprint", "read_archive",
            "build_clfd"]
 
 _FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def _flatten_state(prefix: str, state: dict[str, np.ndarray],
@@ -103,18 +112,10 @@ def save_clfd(model: CLFD, path: str | os.PathLike) -> pathlib.Path:
         if model.fraud_detector.centroids is not None:
             payload["detector/centroids"] = model.fraud_detector.centroids
 
-    path = _normalize_path(path)
-    # Atomic publish: never leave a half-written archive at the target
-    # path, even if the process dies mid-save.
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    try:
-        with open(tmp, "wb") as fh:
-            np.savez(fh, **payload)
-        os.replace(tmp, path)
-    finally:
-        if tmp.exists():
-            tmp.unlink()
-    return path
+    # Atomic + deterministic: save_arrays writes to a temp file and
+    # renames, with pinned zip metadata so identical models produce
+    # bit-identical archive bytes.
+    return save_arrays(_normalize_path(path), payload)
 
 
 def model_fingerprint(model: CLFD) -> str:
@@ -182,8 +183,13 @@ def read_archive(
 
 
 def build_clfd(meta: dict, arrays: dict[str, np.ndarray], *,
-               bind: bool = False) -> CLFD:
-    """Assemble a ready-to-predict CLFD from ``read_archive`` output.
+               bind: bool = False):
+    """Assemble a ready-to-predict model from ``read_archive`` output.
+
+    Full-precision (v1/v2) archives build a :class:`CLFD`; quantized
+    (v3) archives build the low-precision inference runtime
+    (:class:`repro.quant.QuantizedCLFD`) — both speak the inference
+    surface the serving tier consumes.
 
     With ``bind=True`` the model's parameters (and the embedding matrix
     and centroids) *are* the provided arrays rather than copies — the
@@ -191,6 +197,10 @@ def build_clfd(meta: dict, arrays: dict[str, np.ndarray], *,
     shared-memory views.  Callers passing ``bind=True`` must keep the
     arrays' backing memory alive for the model's lifetime.
     """
+    if meta.get("quant") is not None:
+        from ..quant.runtime import build_quantized
+
+        return build_quantized(meta, arrays, bind=bind)
     config_dict = dict(meta["config"])
     config_dict["word2vec"] = Word2VecConfig(**config_dict["word2vec"])
     config = CLFDConfig(**config_dict)
@@ -232,12 +242,22 @@ def build_clfd(meta: dict, arrays: dict[str, np.ndarray], *,
     return model
 
 
-def load_clfd(path: str | os.PathLike) -> CLFD:
-    """Restore a CLFD model saved by :func:`save_clfd`.
+def load_clfd(path: str | os.PathLike, *, precision: str | None = None):
+    """Restore a model saved by :func:`save_clfd` (any readable version).
 
     Accepts the same suffix-less paths as :func:`save_clfd`.  The
-    returned model is ready for :meth:`CLFD.predict`; training state
-    (corrected labels, loss histories) is not persisted.
+    returned model is ready for ``predict``; training state (corrected
+    labels, loss histories) is not persisted.
+
+    ``precision`` (``"int8"`` / ``"float16"`` / ``"float32"``)
+    quantizes a full-precision archive on the fly and returns the
+    low-precision runtime — the path ``ServeConfig(precision=...)``
+    rides through.  ``None`` serves the archive as persisted (quantized
+    v3 archives come back quantized either way).
     """
     meta, arrays = read_archive(path)
+    if precision is not None:
+        from ..quant.quantize import apply_precision
+
+        meta, arrays = apply_precision(meta, arrays, precision)
     return build_clfd(meta, arrays)

@@ -10,13 +10,22 @@ process maps the same bytes.
 
 from __future__ import annotations
 
+import io
 import os
+import pathlib
+import zipfile
 
 import numpy as np
 
 from .module import LoadReport, Module
 
-__all__ = ["save_module", "load_module", "load_arrays", "load_arrays_into"]
+__all__ = ["save_module", "load_module", "load_arrays", "load_arrays_into",
+           "save_arrays"]
+
+#: Pinned zip member timestamp (the DOS epoch).  ``np.savez`` stamps the
+#: wall clock into every member header, so two saves of identical arrays
+#: differ byte-wise; :func:`save_arrays` pins this instead.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
 
 
 def save_module(module: Module, path: str | os.PathLike) -> None:
@@ -44,6 +53,44 @@ def load_module(module: Module, path: str | os.PathLike,
                                                 copy=copy)
     module.last_load_report = report
     return module
+
+
+def save_arrays(path: str | os.PathLike,
+                arrays: dict[str, np.ndarray]) -> pathlib.Path:
+    """Write ``arrays`` as an ``.npz`` with **deterministic bytes**.
+
+    ``np.savez`` embeds the current wall clock in every zip member
+    header, so saving the same arrays twice yields different files —
+    which breaks content-addressed workflows (and the quantizer's
+    "same archive → bit-identical quantized bytes" guarantee).  This
+    writer produces the same ``np.load``-compatible uncompressed zip of
+    ``.npy`` members, but sorts keys and pins every member's timestamp
+    to the DOS epoch, so bytes are a pure function of the arrays.
+
+    Atomic like :func:`repro.core.persistence.save_clfd`: written to a
+    temp file in the target directory, then renamed into place.
+    Returns the path written.
+    """
+    path = pathlib.Path(path)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            with zipfile.ZipFile(fh, "w", zipfile.ZIP_STORED) as zf:
+                for key in sorted(arrays):
+                    buf = io.BytesIO()
+                    np.lib.format.write_array(
+                        buf, np.ascontiguousarray(arrays[key]),
+                        allow_pickle=False)
+                    info = zipfile.ZipInfo(f"{key}.npy",
+                                           date_time=_ZIP_EPOCH)
+                    zf.writestr(info, buf.getvalue())
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
+    return path
 
 
 def load_arrays(path: str | os.PathLike) -> dict[str, np.ndarray]:

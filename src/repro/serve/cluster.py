@@ -353,7 +353,8 @@ class ClusterEngine:
         self._rr = itertools.count()
         self.workers_lost = 0
 
-        self._segment = SharedArchive.publish_archive(archive, generation=0)
+        self._segment = SharedArchive.publish_archive(
+            archive, generation=0, precision=self.config.precision)
         worker_config = self.config.worker_config()
         self._clients: dict[int, _WorkerClient] = {}
         self._ring = HashRing()
@@ -391,6 +392,13 @@ class ClusterEngine:
     @property
     def include_embeddings(self) -> bool:
         return self.config.include_embeddings
+
+    @property
+    def precision(self) -> str:
+        """The published segment's numeric path (mirrors the workers)."""
+        meta = self._segment.manifest["meta"]
+        return (self._segment.precision
+                or meta["config"].get("compute_dtype", "float64"))
 
     # ------------------------------------------------------------------
     # Scoring
@@ -467,7 +475,10 @@ class ClusterEngine:
                 raise RuntimeError("cluster is closed")
             gen = int(generation) if generation is not None \
                 else self.generation + 1
-        new_segment = SharedArchive.publish_archive(archive, generation=gen)
+        # Republish at the cluster's configured precision: a rolling
+        # reload must never silently change the numeric path.
+        new_segment = SharedArchive.publish_archive(
+            archive, generation=gen, precision=self.config.precision)
         acks = []
         for client in self._clients.values():
             if not client.alive:
@@ -560,6 +571,7 @@ class ClusterEngine:
         snap = self.metrics.snapshot()
         snap["generation"] = self.generation
         snap["queue_depth"] = self.queue_depth
+        snap["precision"] = self.precision
         if self._limiter is not None:
             snap["rate_limiter"] = self._limiter.snapshot()
         snap["cluster"] = {

@@ -44,6 +44,12 @@ class ServeConfig:
         or close waits for in-flight batches to drain.
     score_timeout_s: server-side bound on one request's scoring wait.
     include_embeddings: attach encoder representations to results.
+    precision: inference precision — ``None`` serves archives as
+        persisted (full precision for v1/v2, stored precision for
+        quantized v3); ``"int8"`` / ``"float16"`` / ``"float32"``
+        routes scoring through the low-precision runtime
+        (:mod:`repro.quant`), quantizing full-precision archives on
+        the fly at (re)load time.
     warmup: run a throwaway forward at (re)load so the first real
         request never pays first-call allocation costs.
     verbose: per-request HTTP logging.
@@ -60,10 +66,17 @@ class ServeConfig:
     drain_timeout_s: float = 30.0
     score_timeout_s: float = 30.0
     include_embeddings: bool = False
+    precision: str | None = None
     warmup: bool = True
     verbose: bool = False
 
+    _PRECISIONS = (None, "float32", "float16", "int8")
+
     def __post_init__(self) -> None:
+        if self.precision not in self._PRECISIONS:
+            raise ValueError(
+                f"precision must be one of {self._PRECISIONS}, "
+                f"got {self.precision!r}")
         if self.max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if self.max_wait_ms < 0:

@@ -157,10 +157,16 @@ class InferenceEngine:
     def from_archive(cls, path: str | os.PathLike,
                      config: ServeConfig | None = None,
                      **kwargs) -> "InferenceEngine":
-        """Warm-load a persisted archive (see :func:`repro.core.load_clfd`)."""
+        """Warm-load a persisted archive (see :func:`repro.core.load_clfd`).
+
+        ``config.precision`` routes the load through the low-precision
+        runtime (quantizing a full-precision archive on the fly).
+        """
         from ..core.persistence import load_clfd
 
-        return cls(load_clfd(path), config, **kwargs)
+        precision = config.precision if isinstance(config, ServeConfig) \
+            else None
+        return cls(load_clfd(path, precision=precision), config, **kwargs)
 
     def _make_batcher(self, runtime: _ModelRuntime) -> MicroBatcher:
         return MicroBatcher(
@@ -189,6 +195,14 @@ class InferenceEngine:
     @property
     def include_embeddings(self) -> bool:
         return self.config.include_embeddings
+
+    @property
+    def precision(self) -> str:
+        """The active numeric path: a quantized runtime's stored
+        precision, else the full-precision model's compute dtype."""
+        model = self._active[0].model
+        return (getattr(model, "precision", None)
+                or model.config.compute_dtype)
 
     @property
     def queue_depth(self) -> int:
@@ -269,10 +283,13 @@ class InferenceEngine:
 
     def reload(self, path: str | os.PathLike,
                generation: int | None = None) -> int:
-        """Rolling reload from a persisted archive path."""
+        """Rolling reload from a persisted archive path (at the
+        engine's configured precision, so a reload can never silently
+        change the numeric path)."""
         from ..core.persistence import load_clfd
 
-        return self.reload_model(load_clfd(path), generation)
+        return self.reload_model(
+            load_clfd(path, precision=self.config.precision), generation)
 
     def close(self) -> None:
         """Drain and stop: every in-flight future resolves first."""
@@ -301,6 +318,7 @@ class InferenceEngine:
         snap = self.metrics.snapshot(self.profiler.regions)
         snap["generation"] = self.generation
         snap["queue_depth"] = self.queue_depth
+        snap["precision"] = self.precision
         if self._limiter is not None:
             snap["rate_limiter"] = self._limiter.snapshot()
         return snap
@@ -310,7 +328,8 @@ class InferenceEngine:
         return self.metrics.render_prometheus(
             self.profiler.regions,
             gauges={"generation": self.generation,
-                    "queue_depth": self.queue_depth})
+                    "queue_depth": self.queue_depth},
+            precision=self.precision)
 
     # ------------------------------------------------------------------
     # Internals

@@ -103,9 +103,13 @@ class ServingMetrics:
         return snap
 
     def render_prometheus(self, regions: dict[str, float] | None = None,
-                          gauges: dict[str, float] | None = None) -> str:
+                          gauges: dict[str, float] | None = None,
+                          precision: str | None = None) -> str:
         """Text exposition (Prometheus-style) for scraping."""
-        return render_snapshot(self.snapshot(regions), gauges=gauges)
+        snap = self.snapshot(regions)
+        if precision is not None:
+            snap["precision"] = precision
+        return render_snapshot(snap, gauges=gauges)
 
 
 # ----------------------------------------------------------------------
@@ -195,6 +199,11 @@ def render_snapshot(snap: dict, gauges: dict[str, float] | None = None) -> str:
     for name, value in sorted((gauges or {}).items()):
         lines.append(f"# TYPE repro_serve_{name} gauge")
         lines.append(f"repro_serve_{name} {value:g}")
+    if snap.get("precision"):
+        # Info-style series: the label carries the active numeric path.
+        lines.append("# TYPE repro_serve_precision gauge")
+        lines.append(
+            f'repro_serve_precision{{precision="{snap["precision"]}"}} 1')
     return "\n".join(lines) + "\n"
 
 

@@ -33,14 +33,27 @@ _ALIGN = 64  # cache-line align every array within the segment
 _LIVE_LEAKS: list = []
 
 
-def _layout(arrays: dict[str, np.ndarray]) -> tuple[list[dict], int]:
-    """Compute per-array offsets; returns (table, total_bytes)."""
+def _layout(arrays: dict[str, np.ndarray],
+            kinds: dict[str, str] | None = None) -> tuple[list[dict], int]:
+    """Compute per-array offsets; returns (table, total_bytes).
+
+    Every entry carries its **own** dtype plus, for quantized archives,
+    its storage kind (``int8`` / ``fp16_rows`` / ``fp16`` / ``raw`` /
+    ``scale``) — a segment may legitimately mix int8 payloads, float16
+    tables, float32 scales and int-typed auxiliaries, so nothing here
+    may assume one parameter dtype for the whole archive.
+    """
     table: list[dict] = []
     offset = 0
     for key in sorted(arrays):
         value = arrays[key]
-        table.append({"key": key, "dtype": str(value.dtype),
-                      "shape": list(value.shape), "offset": offset})
+        entry = {"key": key, "dtype": str(value.dtype),
+                 "shape": list(value.shape), "offset": offset}
+        if kinds is not None:
+            base = key[:-len("/scale")] if key.endswith("/scale") else None
+            entry["kind"] = ("scale" if base in kinds
+                             else kinds.get(key, "raw"))
+        table.append(entry)
         nbytes = int(value.nbytes)
         offset += (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
     return table, max(offset, 1)
@@ -105,7 +118,8 @@ class SharedArchive:
     def publish(cls, meta: dict, arrays: dict[str, np.ndarray], *,
                 generation: int = 0) -> "SharedArchive":
         """Create a segment and copy ``arrays`` in (the one warm load)."""
-        table, total = _layout(arrays)
+        quant = meta.get("quant") or {}
+        table, total = _layout(arrays, kinds=quant.get("arrays"))
         shm = shared_memory.SharedMemory(
             create=True, size=total,
             name=f"repro-serve-{os.getpid()}-g{generation}-{os.urandom(4).hex()}")
@@ -114,16 +128,28 @@ class SharedArchive:
             view[...] = arrays[key]
             view.flags.writeable = False
         manifest = {"segment": shm.name, "generation": int(generation),
-                    "meta": meta, "arrays": table}
+                    "meta": meta, "arrays": table,
+                    "precision": quant.get("precision")}
         return cls(shm, manifest, views, owner=True)
 
     @classmethod
     def publish_archive(cls, path: str | os.PathLike, *,
-                        generation: int = 0) -> "SharedArchive":
-        """Load a persisted CLFD archive once and publish it."""
+                        generation: int = 0,
+                        precision: str | None = None) -> "SharedArchive":
+        """Load a persisted CLFD archive once and publish it.
+
+        ``precision`` quantizes a full-precision archive before the
+        copy-in (see :func:`repro.quant.apply_precision`), so the
+        segment holds int8/float16 payloads and every worker binds the
+        quantized arrays zero-copy.
+        """
         from ..core.persistence import read_archive
 
         meta, arrays = read_archive(path)
+        if precision is not None:
+            from ..quant.quantize import apply_precision
+
+            meta, arrays = apply_precision(meta, arrays, precision)
         return cls.publish(meta, arrays, generation=generation)
 
     @classmethod
@@ -143,6 +169,11 @@ class SharedArchive:
     @property
     def generation(self) -> int:
         return int(self.manifest["generation"])
+
+    @property
+    def precision(self) -> str | None:
+        """The published arrays' quantized precision (None = full)."""
+        return self.manifest.get("precision")
 
     @property
     def nbytes(self) -> int:

@@ -91,11 +91,63 @@ def test_save_failure_leaves_target_untouched(fitted, tmp_path, monkeypatch):
     def boom(*args, **kwargs):
         raise OSError("disk full")
 
-    monkeypatch.setattr(np, "savez", boom)
+    monkeypatch.setattr(np.lib.format, "write_array", boom)
     with pytest.raises(OSError):
         save_clfd(fitted, tmp_path / "model.npz")
     assert path.read_bytes() == payload
     assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+
+
+def test_all_readable_versions_load(fitted, tiny_data, tmp_path):
+    """v1 (pre-vocabulary), v2 (current) and v3 (quantized) archives all
+    load through ``load_clfd``."""
+    import json
+
+    from repro.quant import QuantizedCLFD, quantize_archive
+
+    _, test = tiny_data
+    batch = test[list(range(8))]
+    v2_path = save_clfd(fitted, tmp_path / "v2.npz")
+
+    # Rewrite the header as a version-1 archive (no vocabulary field).
+    with np.load(v2_path) as archive:
+        data = {key: archive[key] for key in archive.files}
+    meta = json.loads(bytes(data["meta"]).decode())
+    meta["format_version"] = 1
+    del meta["vocab"]
+    data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    v1_path = tmp_path / "v1.npz"
+    np.savez(v1_path, **data)
+
+    v3_path = quantize_archive(v2_path, tmp_path / "v3.npz")
+
+    v1 = load_clfd(v1_path)
+    assert v1.vectorizer.vocab is None
+    _assert_same_predictions(fitted, v1, batch)
+
+    _assert_same_predictions(fitted, load_clfd(v2_path), batch)
+
+    v3 = load_clfd(v3_path)
+    assert isinstance(v3, QuantizedCLFD)
+    assert v3.precision == "int8"
+    _, scores = fitted.predict(batch)
+    _, qscores = v3.predict(batch)
+    np.testing.assert_allclose(qscores, scores, atol=2e-2)
+
+
+def test_quantized_roundtrip_is_deterministic(fitted, tiny_data, tmp_path):
+    """quantize -> save -> load -> score is bit-stable across runs."""
+    from repro.quant import quantize_archive
+
+    _, test = tiny_data
+    batch = test[list(range(8))]
+    src = save_clfd(fitted, tmp_path / "src.npz")
+    first = quantize_archive(src, tmp_path / "q1.npz")
+    second = quantize_archive(src, tmp_path / "q2.npz")
+    assert first.read_bytes() == second.read_bytes()
+    _, a = load_clfd(first).predict(batch)
+    _, b = load_clfd(second).predict(batch)
+    np.testing.assert_array_equal(a, b)
 
 
 def test_save_rejects_unfitted_model(tmp_path):

@@ -1,0 +1,59 @@
+"""Quantization fixtures: one tiny fitted teacher and its archives.
+
+Mirrors ``tests/serve/conftest.py`` (same tiny architecture, same
+noisy benchmark split) so accuracy deltas measured here are directly
+comparable to the serving tests' baselines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import load_clfd, save_clfd
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+from repro.quant import quantize_archive
+
+QUANT_CONFIG = dict(
+    embedding_dim=12,
+    hidden_size=16,
+    batch_size=32,
+    aux_batch_size=8,
+    ssl_epochs=1,
+    supcon_epochs=2,
+    classifier_epochs=30,
+    word2vec=Word2VecConfig(dim=12, epochs=1),
+)
+
+
+@pytest.fixture(scope="session")
+def quant_split():
+    rng = np.random.default_rng(7)
+    train, test = make_dataset("cert", rng, scale=0.02)
+    apply_uniform_noise(train, eta=0.2, rng=rng)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def teacher_model(quant_split):
+    train, _ = quant_split
+    return CLFD(CLFDConfig(**QUANT_CONFIG)).fit(
+        train, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def teacher_archive(teacher_model, tmp_path_factory):
+    return save_clfd(teacher_model,
+                     tmp_path_factory.mktemp("quant") / "teacher")
+
+
+@pytest.fixture(scope="session")
+def int8_archive(teacher_archive, tmp_path_factory):
+    return quantize_archive(
+        teacher_archive, tmp_path_factory.mktemp("quant") / "teacher-int8",
+        precision="int8")
+
+
+@pytest.fixture(scope="session")
+def reference_model(teacher_archive):
+    """The full-precision model as a serving process sees it."""
+    return load_clfd(teacher_archive)

@@ -1,0 +1,72 @@
+"""Distillation: a 1-layer student trained on the teacher's soft scores."""
+
+import numpy as np
+import pytest
+
+from repro import CLFD
+from repro.core import load_clfd, save_clfd
+from repro.metrics import auc_roc
+from repro.quant import distill_student, quantize_archive, student_config
+
+
+@pytest.fixture(scope="module")
+def student(teacher_model, quant_split):
+    train, _ = quant_split
+    return distill_student(teacher_model, train, epochs=8,
+                           rng=np.random.default_rng(0))
+
+
+def test_student_architecture(student, teacher_model):
+    assert student.config.lstm_layers == 1
+    assert student.config.use_label_corrector is False
+    assert student.label_corrector is None
+    assert student.fraud_detector is not None
+    # The student shares the teacher's vectorizer: same vocabulary,
+    # same embedding table object.
+    assert student.vectorizer is teacher_model.vectorizer
+    config = student_config(teacher_model.config)
+    assert config.hidden_size == teacher_model.config.hidden_size
+
+
+def test_student_tracks_teacher_scores(student, teacher_model,
+                                       quant_split):
+    _, test = quant_split
+    _, teacher_scores = teacher_model.predict(test)
+    _, student_scores = student.predict(test)
+    teacher_auc = auc_roc(test.labels(), teacher_scores)
+    student_auc = auc_roc(test.labels(), student_scores)
+    # The student is an approximation, not a clone: require it to keep
+    # most of the teacher's ranking quality.
+    assert student_auc >= teacher_auc - 10.0
+    history = student.fraud_detector.classifier_loss_history
+    assert len(history) == 8
+    assert history[-1] <= history[0]  # the distillation loss went down
+
+
+def test_student_persists_and_serves(student, quant_split, tmp_path):
+    _, test = quant_split
+    batch = test[list(range(16))]
+    labels, scores = student.predict(batch)
+    restored = load_clfd(save_clfd(student, tmp_path / "student"))
+    rlabels, rscores = restored.predict(batch)
+    np.testing.assert_array_equal(rlabels, labels)
+    np.testing.assert_array_equal(rscores, scores)
+
+
+def test_student_quantizes(student, quant_split, tmp_path):
+    """The intended production stack: distill, then quantize the student."""
+    _, test = quant_split
+    batch = test[list(range(32))]
+    path = save_clfd(student, tmp_path / "student")
+    q = load_clfd(quantize_archive(path, tmp_path / "student-int8"))
+    assert q.precision == "int8"
+    assert q.config.lstm_layers == 1
+    _, scores = student.predict(batch)
+    _, qscores = q.predict(batch)
+    np.testing.assert_allclose(qscores, scores, atol=5e-3)
+
+
+def test_distill_rejects_unfitted_teacher(quant_split):
+    train, _ = quant_split
+    with pytest.raises(ValueError):
+        distill_student(CLFD(), train)

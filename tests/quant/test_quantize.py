@@ -1,0 +1,136 @@
+"""Archive quantization: determinism, the kind table, and refusal cases."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import read_archive
+from repro.quant import (PRECISIONS, SCALE_SUFFIX, apply_precision,
+                         quantize_archive, quantize_arrays)
+
+
+def test_quantize_archive_bytes_are_deterministic(teacher_archive,
+                                                  tmp_path):
+    """Same source archive -> bit-identical quantized bytes, every run.
+
+    This is the reproducibility contract the accuracy gate leans on: a
+    quantized deployment can be re-derived and diffed as plain files.
+    """
+    a = quantize_archive(teacher_archive, tmp_path / "a", precision="int8")
+    b = quantize_archive(teacher_archive, tmp_path / "b", precision="int8")
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_quantized_archive_is_smaller(teacher_archive, int8_archive):
+    assert int8_archive.stat().st_size < teacher_archive.stat().st_size
+
+
+def test_v3_meta_and_kind_table(int8_archive):
+    meta, arrays = read_archive(int8_archive)
+    assert meta["format_version"] == 3
+    assert meta["has_corrector"] is False
+    quant = meta["quant"]
+    assert quant["precision"] == "int8"
+    kinds = quant["arrays"]
+    # Embedding table: row-scaled float16 with a float32 scale companion.
+    assert kinds["word2vec/vectors"] == "fp16_rows"
+    assert arrays["word2vec/vectors"].dtype == np.float16
+    assert arrays["word2vec/vectors" + SCALE_SUFFIX].dtype == np.float32
+    # Every 2-D detector weight: int8 payload + per-channel scales.
+    fc1 = "detector/classifier/fc1.weight"
+    assert kinds[fc1] == "int8"
+    assert arrays[fc1].dtype == np.int8
+    assert arrays[fc1 + SCALE_SUFFIX].shape == (arrays[fc1].shape[1],)
+    # Biases and centroids stay raw float32.
+    assert kinds["detector/classifier/fc1.bias"] == "raw"
+    assert arrays["detector/classifier/fc1.bias"].dtype == np.float32
+    assert kinds["detector/centroids"] == "raw"
+    # The training-only corrector is dropped entirely.
+    assert not any(key.startswith("corrector/") for key in arrays)
+    assert not any(key.startswith("corrector/") for key in kinds)
+
+
+@pytest.mark.parametrize("precision", PRECISIONS)
+def test_every_precision_produces_a_loadable_archive(teacher_archive,
+                                                     tmp_path, precision):
+    from repro.core import load_clfd
+
+    path = quantize_archive(teacher_archive, tmp_path / precision,
+                            precision=precision)
+    model = load_clfd(path)
+    assert model.precision == precision
+
+
+def test_float16_precision_stores_fp16_matrices(teacher_archive, tmp_path):
+    path = quantize_archive(teacher_archive, tmp_path / "f16",
+                            precision="float16")
+    meta, arrays = read_archive(path)
+    fc1 = "detector/classifier/fc1.weight"
+    assert meta["quant"]["arrays"][fc1] == "fp16"
+    assert arrays[fc1].dtype == np.float16
+    assert fc1 + SCALE_SUFFIX not in arrays
+
+
+def test_rejects_bad_precision(teacher_archive, tmp_path):
+    with pytest.raises(ValueError):
+        quantize_archive(teacher_archive, tmp_path / "bad",
+                         precision="int4")
+
+
+def test_rejects_double_quantization(int8_archive, tmp_path):
+    with pytest.raises(ValueError):
+        quantize_archive(int8_archive, tmp_path / "twice",
+                         precision="float16")
+
+
+def test_rejects_detectorless_archive(teacher_archive):
+    meta, arrays = read_archive(teacher_archive)
+    meta = json.loads(json.dumps(meta))
+    meta["has_detector"] = False
+    with pytest.raises(ValueError):
+        quantize_arrays(meta, arrays, "int8")
+
+
+def test_quantize_arrays_leaves_inputs_untouched(teacher_archive):
+    meta, arrays = read_archive(teacher_archive)
+    before = {key: value.copy() for key, value in arrays.items()}
+    quantize_arrays(meta, arrays, "int8")
+    assert meta.get("quant") is None
+    assert meta["format_version"] != 3
+    for key, value in before.items():
+        np.testing.assert_array_equal(arrays[key], value)
+
+
+def test_apply_precision_routing(teacher_archive, int8_archive):
+    full_meta, full_arrays = read_archive(teacher_archive)
+    q_meta, q_arrays = read_archive(int8_archive)
+    # None = serve as persisted (no-op for both).
+    out = apply_precision(full_meta, full_arrays, None)
+    assert out[0] is full_meta and out[1] is full_arrays
+    out = apply_precision(q_meta, q_arrays, None)
+    assert out[0] is q_meta and out[1] is q_arrays
+    # Matching precision on a quantized archive is a no-op too.
+    out = apply_precision(q_meta, q_arrays, "int8")
+    assert out[0] is q_meta and out[1] is q_arrays
+    # A full archive quantizes on the fly.
+    meta, _ = apply_precision(full_meta, full_arrays, "int8")
+    assert meta["quant"]["precision"] == "int8"
+    # A quantized archive refuses a different precision.
+    with pytest.raises(ValueError):
+        apply_precision(q_meta, q_arrays, "float16")
+
+
+def test_on_the_fly_matches_persisted_quantization(teacher_archive,
+                                                   int8_archive):
+    """load_clfd(precision=...) and a pre-quantized v3 archive must be
+    the same arrays bit for bit."""
+    full_meta, full_arrays = read_archive(teacher_archive)
+    live_meta, live_arrays = apply_precision(full_meta, full_arrays, "int8")
+    persisted_meta, persisted_arrays = read_archive(int8_archive)
+    assert live_meta["quant"] == persisted_meta["quant"]
+    assert set(live_arrays) == set(persisted_arrays)
+    for key in live_arrays:
+        assert live_arrays[key].dtype == persisted_arrays[key].dtype
+        np.testing.assert_array_equal(live_arrays[key],
+                                      persisted_arrays[key])

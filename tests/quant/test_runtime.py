@@ -1,0 +1,107 @@
+"""The quantized runtime scores like the float model it was built from.
+
+Covers the default architecture (deep: int8 vs full-precision closeness
+and quantized-archive determinism) and every encoder/pooling/inference
+variant the config space allows (shallow: a cheaply-trained model per
+variant, quantized and compared against its own float predictions).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import load_clfd, save_clfd
+from repro.core.persistence import read_archive
+from repro.quant import QuantizedCLFD, build_quantized, quantize_arrays
+
+from .conftest import QUANT_CONFIG
+
+
+def _subset(split, n=64):
+    _, test = split
+    return test[list(range(min(n, len(test))))]
+
+
+def test_int8_scores_track_full_precision(quant_split, reference_model,
+                                          int8_archive):
+    batch = _subset(quant_split)
+    quantized = load_clfd(int8_archive)
+    assert isinstance(quantized, QuantizedCLFD)
+    assert quantized.precision == "int8"
+    labels, scores = reference_model.predict(batch)
+    qlabels, qscores = quantized.predict(batch)
+    np.testing.assert_allclose(qscores, scores, atol=5e-3)
+    assert (qlabels == labels).mean() >= 0.98
+    probs = quantized.predict_proba(batch)
+    np.testing.assert_allclose(probs[:, 1], qscores, rtol=0, atol=0)
+
+
+def test_float16_is_tighter_than_int8(quant_split, teacher_archive,
+                                      int8_archive):
+    batch = _subset(quant_split)
+    _, scores = load_clfd(teacher_archive).predict(batch)
+    _, f16 = load_clfd(teacher_archive, precision="float16").predict(batch)
+    _, i8 = load_clfd(int8_archive).predict(batch)
+    assert np.abs(f16 - scores).max() <= np.abs(i8 - scores).max() + 1e-7
+
+
+def test_quantized_scores_are_deterministic(quant_split, int8_archive):
+    batch = _subset(quant_split)
+    _, a = load_clfd(int8_archive).predict(batch)
+    _, b = load_clfd(int8_archive).predict(batch)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_on_the_fly_load_matches_v3_archive(quant_split, teacher_archive,
+                                            int8_archive):
+    """``load_clfd(precision="int8")`` and the persisted v3 archive are
+    the same numeric path: identical scores, bit for bit."""
+    batch = _subset(quant_split)
+    _, live = load_clfd(teacher_archive, precision="int8").predict(batch)
+    _, persisted = load_clfd(int8_archive).predict(batch)
+    np.testing.assert_array_equal(live, persisted)
+
+
+def test_return_embeddings_shape(quant_split, int8_archive):
+    batch = _subset(quant_split, n=8)
+    model = load_clfd(int8_archive)
+    labels, scores, features = model.predict(batch,
+                                             return_embeddings=True)
+    assert features.shape == (len(batch), model.config.hidden_size)
+
+
+def test_quantized_model_rejects_unquantized_meta(teacher_archive):
+    meta, arrays = read_archive(teacher_archive)
+    with pytest.raises(ValueError):
+        QuantizedCLFD(meta, arrays)
+
+
+@pytest.mark.parametrize("overrides", [
+    {"encoder_cell": "gru"},
+    {"encoder_cell": "bilstm"},
+    {"pooling": "attention"},
+    {"inference": "centroid"},
+], ids=["gru", "bilstm", "attention", "centroid"])
+def test_variant_architectures_quantize_faithfully(quant_split, overrides):
+    """Each encoder cell / pooling / inference mode round-trips through
+    int8 quantization with scores tracking its own float model."""
+    train, _ = quant_split
+    config = CLFDConfig(**{**QUANT_CONFIG, **overrides,
+                           "supcon_epochs": 1, "classifier_epochs": 3})
+    model = CLFD(config).fit(train, rng=np.random.default_rng(11))
+    batch = _subset(quant_split, n=48)
+    labels, scores = model.predict(batch)
+
+    meta, arrays = _persist_in_memory(model)
+    qmeta, qarrays = quantize_arrays(meta, arrays, "int8")
+    quantized = build_quantized(qmeta, qarrays)
+    qlabels, qscores = quantized.predict(batch)
+    np.testing.assert_allclose(qscores, scores, atol=2e-2)
+    assert (qlabels == labels).mean() >= 0.9
+
+
+def _persist_in_memory(model):
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return read_archive(save_clfd(model, tmp + "/m"))

@@ -1,0 +1,119 @@
+"""Low-precision serving: ``ServeConfig(precision=...)`` end to end.
+
+The engine and the multi-worker cluster must (a) report the active
+numeric path through ``/v1/metrics``, (b) score bit-identically to each
+other at a fixed precision, and (c) hold that bit-identity across a
+rolling reload — a reload must never silently change the numeric path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serve import ClusterEngine, InferenceEngine, ServeConfig
+
+ENGINE_CONFIG = ServeConfig(max_wait_ms=1.0, max_batch=8, warmup=False)
+
+
+def _payloads(n):
+    activities = [[1, 2, 3], [2, 1], [3, 3, 1, 2], [1, 1, 1, 1, 2]]
+    return [{"activities": activities[i % len(activities)],
+             "session_id": f"s{i}"} for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Single-process engine
+# ----------------------------------------------------------------------
+def test_full_precision_engine_reports_compute_dtype(teacher_archive):
+    with InferenceEngine.from_archive(teacher_archive,
+                                      ENGINE_CONFIG) as engine:
+        assert engine.precision == engine.model.config.compute_dtype
+        snap = engine.metrics_snapshot()
+        assert snap["precision"] == engine.precision
+        text = engine.metrics_prometheus()
+    assert (f'repro_serve_precision{{precision="{engine.precision}"}} 1'
+            in text)
+
+
+def test_int8_engine_reports_and_scores(teacher_archive):
+    config = ENGINE_CONFIG.replace(precision="int8")
+    with InferenceEngine.from_archive(teacher_archive, config) as engine:
+        assert engine.precision == "int8"
+        assert engine.metrics_snapshot()["precision"] == "int8"
+        assert 'repro_serve_precision{precision="int8"} 1' \
+            in engine.metrics_prometheus()
+        results = engine.score_many(_payloads(8))
+        assert all(0.0 <= r.score <= 1.0 for r in results)
+
+
+def test_v3_archive_engine_matches_on_the_fly_quantization(
+        teacher_archive, int8_archive):
+    """Serving a pre-quantized archive and quantizing at load time are
+    the same numeric path, bit for bit."""
+    payloads = _payloads(16)
+    with InferenceEngine.from_archive(int8_archive,
+                                      ENGINE_CONFIG) as engine:
+        assert engine.precision == "int8"
+        persisted = [r.score for r in engine.score_many(payloads)]
+    config = ENGINE_CONFIG.replace(precision="int8")
+    with InferenceEngine.from_archive(teacher_archive, config) as engine:
+        live = [r.score for r in engine.score_many(payloads)]
+    np.testing.assert_array_equal(persisted, live)
+
+
+def test_engine_reload_keeps_configured_precision(teacher_archive):
+    config = ENGINE_CONFIG.replace(precision="int8")
+    payloads = _payloads(12)
+    with InferenceEngine.from_archive(teacher_archive, config) as engine:
+        before = [r.score for r in engine.score_many(payloads)]
+        generation = engine.reload(teacher_archive)
+        assert generation == 1
+        assert engine.precision == "int8"
+        after = [r.score for r in engine.score_many(payloads)]
+    np.testing.assert_array_equal(before, after)
+
+
+def test_quantized_archive_refuses_other_precision(int8_archive):
+    config = ENGINE_CONFIG.replace(precision="float16")
+    with pytest.raises(ValueError):
+        InferenceEngine.from_archive(int8_archive, config)
+
+
+# ----------------------------------------------------------------------
+# Two-worker cluster
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def int8_cluster(teacher_archive):
+    config = ServeConfig(workers=2, max_wait_ms=1.0, max_batch=8,
+                         precision="int8")
+    with ClusterEngine(teacher_archive, config) as engine:
+        yield engine
+
+
+def test_cluster_reports_precision(int8_cluster):
+    assert int8_cluster.precision == "int8"
+    snap = int8_cluster.metrics_snapshot()
+    assert snap["precision"] == "int8"
+    assert 'repro_serve_precision{precision="int8"} 1' \
+        in int8_cluster.metrics_prometheus()
+
+
+def test_cluster_matches_single_process_bitwise(int8_cluster,
+                                                teacher_archive):
+    payloads = _payloads(24)
+    config = ENGINE_CONFIG.replace(precision="int8")
+    with InferenceEngine.from_archive(teacher_archive, config) as single:
+        expected = [r.score for r in single.score_many(payloads)]
+    got = [r.score for r in int8_cluster.score_many(payloads)]
+    np.testing.assert_array_equal(got, expected)
+
+
+def test_cluster_rolling_reload_keeps_precision_and_scores(
+        int8_cluster, teacher_archive):
+    """Runs last in this module: it advances the cluster generation."""
+    payloads = _payloads(16)
+    before = [r.score for r in int8_cluster.score_many(payloads)]
+    generation = int8_cluster.reload(teacher_archive)
+    assert generation == 1
+    assert int8_cluster.precision == "int8"
+    after = [r.score for r in int8_cluster.score_many(payloads)]
+    np.testing.assert_array_equal(after, before)

@@ -25,10 +25,21 @@ def test_defaults_are_valid():
     {"rate_limit_burst": -2.0},
     {"drain_timeout_s": 0.0},
     {"score_timeout_s": -1.0},
+    {"precision": "int4"},
+    {"precision": "bfloat16"},
 ])
 def test_invalid_values_raise(kwargs):
     with pytest.raises(ValueError):
         ServeConfig(**kwargs)
+
+
+def test_precision_accepts_supported_values():
+    assert ServeConfig().precision is None  # serve archive as persisted
+    for value in ("float32", "float16", "int8"):
+        assert ServeConfig(precision=value).precision == value
+    # Batching workers inherit the cluster's precision unchanged.
+    assert ServeConfig(workers=2, precision="int8").worker_config() \
+        .precision == "int8"
 
 
 def test_config_is_frozen():

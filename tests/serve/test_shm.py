@@ -97,6 +97,77 @@ def test_publish_archive_and_bind_model(served_archive, serve_split):
                                 shared.arrays["word2vec/vectors"])
 
 
+def test_mixed_dtype_manifest_round_trip():
+    """Quantized segments mix int8 payloads, float16 tables, float32
+    scales and integer auxiliaries: every manifest entry must carry its
+    own dtype plus its storage kind, and attach must reproduce each
+    array exactly."""
+    rng = np.random.default_rng(1)
+    arrays = {
+        "enc/w": (rng.normal(size=(6, 4)) * 10).astype(np.int8),
+        "enc/w/scale": rng.uniform(0.1, 1.0, 4).astype(np.float32),
+        "emb": rng.normal(size=(5, 3)).astype(np.float16),
+        "emb/scale": rng.uniform(0.5, 2.0, 5).astype(np.float32),
+        "bias": rng.normal(size=4).astype(np.float32),
+        "ids": np.arange(7, dtype=np.int64),
+    }
+    meta = {"quant": {"precision": "int8",
+                      "arrays": {"enc/w": "int8", "emb": "fp16_rows",
+                                 "bias": "raw", "ids": "raw"}}}
+    with SharedArchive.publish(meta, arrays) as shared:
+        assert shared.precision == "int8"
+        entries = {e["key"]: e for e in shared.manifest["arrays"]}
+        assert entries["enc/w"]["dtype"] == "int8"
+        assert entries["enc/w"]["kind"] == "int8"
+        assert entries["enc/w/scale"]["dtype"] == "float32"
+        assert entries["enc/w/scale"]["kind"] == "scale"
+        assert entries["emb"]["dtype"] == "float16"
+        assert entries["emb"]["kind"] == "fp16_rows"
+        assert entries["emb/scale"]["kind"] == "scale"
+        assert entries["ids"]["dtype"] == "int64"
+        attached = SharedArchive.attach(shared.manifest)
+        try:
+            for key, value in arrays.items():
+                assert attached.arrays[key].dtype == value.dtype
+                np.testing.assert_array_equal(attached.arrays[key], value)
+        finally:
+            attached.close()
+
+
+def test_full_precision_manifest_has_no_kinds(arrays):
+    with SharedArchive.publish({}, arrays) as shared:
+        assert shared.precision is None
+        assert all("kind" not in entry
+                   for entry in shared.manifest["arrays"])
+
+
+def test_publish_archive_quantizes_before_copy_in(served_archive,
+                                                  serve_split):
+    """The cluster's low-precision path: the segment holds the int8
+    payloads, workers bind them zero-copy, and scores match the
+    single-process quantized load bit for bit."""
+    _, test = serve_split
+    batch = test[list(range(10))]
+    reference = load_clfd(served_archive, precision="int8")
+    ref_labels, ref_scores = reference.predict(batch)
+
+    with SharedArchive.publish_archive(served_archive,
+                                       precision="int8") as shared:
+        assert shared.precision == "int8"
+        bound = build_clfd(shared.manifest["meta"], shared.arrays,
+                           bind=True)
+        labels, scores = bound.predict(batch)
+        np.testing.assert_array_equal(labels, ref_labels)
+        np.testing.assert_array_equal(scores, ref_scores)
+        # Zero-copy: the runtime's payloads ARE the shm views.
+        key = "detector/classifier/fc1.weight"
+        assert shared.arrays[key].dtype == np.int8
+        assert np.shares_memory(bound.classifier.fc1.payload,
+                                shared.arrays[key])
+        assert np.shares_memory(bound.vectorizer.model.table,
+                                shared.arrays["word2vec/vectors"])
+
+
 def test_load_arrays_into_fills_caller_buffers(served_archive):
     meta, arrays = read_archive(served_archive)
     out = {key: np.empty_like(value) for key, value in arrays.items()}
