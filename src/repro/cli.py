@@ -11,6 +11,7 @@ Usage::
     python -m repro serve --model model.npz
     python -m repro quantize --model model.npz --out model-int8.npz
     python -m repro distill --model model.npz --out student.npz
+    python -m repro stream --model model.npz --workdir stream-state
 
 Each command prints the measured table; scale/seed options map onto
 :class:`repro.experiments.ExperimentSettings`.
@@ -153,6 +154,53 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: the config's classifier_epochs)")
     ds.add_argument("--seed", type=int, default=0)
 
+    st = sub.add_parser(
+        "stream",
+        help="score an event stream online with drift detection and "
+             "label re-correction")
+    st.add_argument("--model", required=True,
+                    help="full-precision archive to serve initially "
+                         "(also the frozen baseline for --compare-frozen)")
+    st.add_argument("--workdir", required=True,
+                    help="state directory: checkpoint, journal, "
+                         "re-corrected archives")
+    st.add_argument("--events", default=None,
+                    help="existing JSONL event log; default: synthesize "
+                         "a drifting stream into <workdir>/events.jsonl")
+    st.add_argument("--dataset", default="cert",
+                    choices=("cert", "umd-wikipedia", "openstack"),
+                    help="archetype family for synthesized streams")
+    st.add_argument("--drift", default="archetype+noise",
+                    choices=("none", "archetype", "noise",
+                             "archetype+noise"),
+                    help="what shifts mid-stream in synthesized streams")
+    st.add_argument("--sessions", type=int, default=240,
+                    help="synthesized stream length in sessions")
+    st.add_argument("--stream-seed", type=int, default=11,
+                    help="seed for the synthesized stream")
+    st.add_argument("--seed", type=int, default=0,
+                    help="processor seed (re-correction batching)")
+    st.add_argument("--window-size", type=float, default=60.0,
+                    help="window length in stream time units")
+    st.add_argument("--session-gap", type=float, default=4.0,
+                    help="silence after which a session closes")
+    st.add_argument("--max-session-len", type=int, default=16,
+                    help="hard cap on events per session")
+    st.add_argument("--recorrect-windows", type=int, default=5,
+                    help="trailing windows re-correction trains on")
+    st.add_argument("--head-epochs", type=int, default=30,
+                    help="fine-tune epochs per re-correction")
+    st.add_argument("--max-recorrections", type=int, default=None,
+                    help="cap on re-correction passes")
+    st.add_argument("--max-windows", type=int, default=None,
+                    help="stop after this many windows (kill point; "
+                         "rerun with --resume to continue)")
+    st.add_argument("--resume", action="store_true",
+                    help="continue from <workdir>/checkpoint.json")
+    st.add_argument("--compare-frozen", action="store_true",
+                    help="after the run, re-score post-swap sessions "
+                         "with the frozen model and print both AUCs")
+
     tr = sub.add_parser(
         "train", help="checkpointed CLFD training with kill/resume support")
     tr.add_argument("--dataset", default="cert",
@@ -269,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
         _run_demo(args, settings)
     elif args.command == "save":
         _run_save(args, settings)
+    elif args.command == "stream":
+        return _run_stream(args)
     elif args.command == "train":
         return _run_train(args, settings)
     elif args.command == "lint-graph":
@@ -330,6 +380,70 @@ def _run_demo(args, settings: ExperimentSettings) -> None:
     labels, scores = model.predict(test)
     metrics = evaluate_detector(test.labels(), labels, scores)
     print(", ".join(f"{k}={v:.1f}%" for k, v in metrics.items()))
+
+
+def _run_stream(args) -> int:
+    """`repro stream`: online scoring + drift detection + re-correction."""
+    import pathlib
+
+    from .stream import (EventLog, StreamConfig, StreamProcessor,
+                         compare_with_frozen, synthesize_drifting_events,
+                         write_events)
+
+    if args.events:
+        log = EventLog(args.events)
+    else:
+        path = pathlib.Path(args.workdir) / "events.jsonl"
+        if path.exists() and args.resume:
+            log = EventLog(path)
+        else:
+            print(f"synthesizing a {args.drift!r}-drift {args.dataset} "
+                  f"stream ({args.sessions} sessions) ...")
+            events = synthesize_drifting_events(
+                args.dataset, n_sessions=args.sessions, drift=args.drift,
+                eta=0.1, eta_after=0.45, malicious_rate=0.1,
+                malicious_rate_after=0.45,
+                max_session_length=args.max_session_len,
+                rng=args.stream_seed)
+            log = write_events(path, events)
+    config = StreamConfig(
+        window_size=args.window_size, session_gap=args.session_gap,
+        max_session_len=args.max_session_len,
+        recorrect_windows=args.recorrect_windows,
+        head_epochs=args.head_epochs,
+        max_recorrections=args.max_recorrections)
+    with StreamProcessor(args.model, args.workdir, config=config,
+                         seed=args.seed, resume=args.resume) as proc:
+        print(f"{'window':>6} {'sessions':>8} {'oov':>6} {'drift':>7} "
+              f"{'trigger':>9} {'gen':>4}")
+        summaries = proc.run_log(log, max_windows=args.max_windows)
+        for s in summaries:
+            reading = s["reading"]
+            flag = "  ALARM" if s["alarm"] else ""
+            swap = "  -> re-corrected + hot-swapped" if s["recorrected"] \
+                else ""
+            print(f"{s['window']:>6} {s['n_sessions']:>8} "
+                  f"{s['oov_rate']:>6.3f} {reading.drift_score:>7.3f} "
+                  f"{reading.trigger or '-':>9} {s['generation']:>4}"
+                  f"{flag}{swap}")
+        print(f"processed {proc.windows_processed} windows, "
+              f"{proc.recorrections} re-correction(s), serving "
+              f"generation {proc.model_generation} "
+              f"({proc.current_archive.name})")
+        if args.max_windows is not None \
+                and len(summaries) >= args.max_windows:
+            print(f"stopped after --max-windows {args.max_windows}; "
+                  f"rerun with --resume to continue from offset "
+                  f"{proc.next_offset}")
+        if args.compare_frozen:
+            if proc.recorrections:
+                auc = compare_with_frozen(proc.records, args.model)
+                print(f"post-swap AUC over {auc['n_sessions']} sessions: "
+                      f"live={auc['live_auc']:.1f}% "
+                      f"frozen={auc['frozen_auc']:.1f}%")
+            else:
+                print("no re-correction happened; nothing to compare")
+    return 0
 
 
 def _run_train(args, settings: ExperimentSettings) -> int:

@@ -95,6 +95,11 @@ class LogTemplateMiner:
         # Template token lists indexed by stable id; buckets hold ids.
         self._templates: list[list[str]] = []
         self._buckets: dict[tuple, list[int]] = {}
+        # Messages that matched no template while the miner was frozen
+        # (match_message misses).  The streaming drift monitor reads
+        # this as the novel-template rate; reset_novel_count() starts a
+        # fresh observation window.
+        self.novel_count = 0
 
     # ------------------------------------------------------------------
     def fit_message(self, message: str) -> int:
@@ -122,7 +127,14 @@ class LogTemplateMiner:
         best_id, best_score = self._best_in(bucket, tokens)
         if best_id is not None and best_score >= self.similarity:
             return best_id
+        self.novel_count += 1
         return None
+
+    def reset_novel_count(self) -> int:
+        """Return and zero the frozen-miss counter (per-window tally)."""
+        count = self.novel_count
+        self.novel_count = 0
+        return count
 
     def _best_in(self, bucket: list[int],
                  tokens: list[str]) -> tuple[int | None, float]:
@@ -172,8 +184,9 @@ def parse_log_records(records: Iterable[LogRecord],
 
     ``grow=False`` freezes the miner (inference mode): messages are
     matched against existing templates only, and unmatched messages are
-    dropped — the standard treatment for previously unseen log lines
-    when scoring live traffic against a trained vocabulary.
+    dropped — but not silently: every miss increments
+    ``miner.novel_count``, which the streaming drift monitor reads (via
+    ``reset_novel_count``) as the per-window novel-template rate.
     """
     miner = miner or LogTemplateMiner()
     sequences: dict[str, list[int]] = {}

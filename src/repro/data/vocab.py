@@ -34,6 +34,27 @@ class Vocabulary:
         """Map tokens to ids; unknown tokens raise ``KeyError``."""
         return [self._token_to_id[t] for t in tokens]
 
+    def encode_frozen(self, tokens: Iterable[str]) -> tuple[list[int], int]:
+        """Frozen-vocabulary encoding: drop novel tokens, count them.
+
+        Returns ``(ids, novel)`` where ``ids`` covers only the known
+        tokens (in order) and ``novel`` counts the out-of-vocabulary
+        ones.  This is the streaming/inference path: raising (like
+        :meth:`encode`) would reject whole live sessions, and silently
+        mapping novel tokens to the padding id would hide exactly the
+        signal the drift monitor needs — so novelty is surfaced as an
+        explicit count instead.
+        """
+        ids: list[int] = []
+        novel = 0
+        for token in tokens:
+            idx = self._token_to_id.get(token)
+            if idx is None:
+                novel += 1
+            else:
+                ids.append(idx)
+        return ids, novel
+
     def decode(self, ids: Iterable[int]) -> list[str]:
         return [self._id_to_token[i] for i in ids]
 

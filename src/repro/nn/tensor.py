@@ -14,6 +14,7 @@ topological sort and runs the closures in reverse order.
 from __future__ import annotations
 
 import contextlib
+import threading
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -37,7 +38,12 @@ __all__ = [
     "default_dtype",
 ]
 
-_GRAD_ENABLED = True
+# Grad mode is *per-thread* (like torch): a serving thread scoring
+# under no_grad() must not strip the graph out from under a training
+# thread's forward pass in the same process — exactly what happens when
+# the stream processor fine-tunes a model while its engine keeps
+# serving concurrent requests.
+_GRAD_STATE = threading.local()
 
 _SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 _DEFAULT_DTYPE = np.dtype(np.float64)
@@ -85,19 +91,22 @@ def _set_trace_hook(hook) -> None:
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph construction (like torch.no_grad)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    """Context manager that disables graph construction (like torch.no_grad).
+
+    The flag is thread-local, so inference threads holding ``no_grad``
+    never disable graph recording for a concurrently-training thread.
+    """
+    previous = is_grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def is_grad_enabled() -> bool:
-    """Return whether operations currently record gradients."""
-    return _GRAD_ENABLED
+    """Return whether operations in this thread record gradients."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def set_default_dtype(dtype) -> None:
@@ -362,7 +371,8 @@ class Tensor:
         untraceable (unless it is a view of a parent), which the tracer
         turns into a fallback to the interpreted path.
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad
+                                             for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._prev = tuple(parents)

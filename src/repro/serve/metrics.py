@@ -44,6 +44,10 @@ class ServingMetrics:
         self.batch_seconds_total = 0.0
         self._latencies: collections.deque = collections.deque(
             maxlen=reservoir)
+        # Named gauges set by co-located components (e.g. the stream
+        # processor's windows/drift/alarm/generation counters) so they
+        # surface on this engine's /v1/metrics without new plumbing.
+        self.gauges: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -62,6 +66,11 @@ class ServingMetrics:
         with self._lock:
             self.batch_sizes[size] += 1
             self.batch_seconds_total += seconds
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Publish/overwrite a named gauge on this metrics endpoint."""
+        with self._lock:
+            self.gauges[name] = float(value)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -98,6 +107,8 @@ class ServingMetrics:
                 "batch_seconds_total": self.batch_seconds_total,
                 "latency_seconds": quantiles,
             }
+            if self.gauges:
+                snap["gauges"] = dict(self.gauges)
         if regions:
             snap["profile_regions_seconds"] = dict(regions)
         return snap
@@ -196,7 +207,11 @@ def render_snapshot(snap: dict, gauges: dict[str, float] | None = None) -> str:
         lines.append(
             f'repro_serve_profile_region_seconds{{region="{name}"}} '
             f"{seconds:.6f}")
-    for name, value in sorted((gauges or {}).items()):
+    # Caller-supplied gauges (engine generation/queue depth) merge with
+    # snapshot-carried gauges (ServingMetrics.set_gauge publishers).
+    all_gauges = dict(snap.get("gauges", {}))
+    all_gauges.update(gauges or {})
+    for name, value in sorted(all_gauges.items()):
         lines.append(f"# TYPE repro_serve_{name} gauge")
         lines.append(f"repro_serve_{name} {value:g}")
     if snap.get("precision"):

@@ -1,0 +1,307 @@
+"""Concept-drift detection over per-window streaming statistics.
+
+:class:`DriftMonitor` watches three signals per emitted window, each a
+cheap scalar/vector summary of what the serving tier already computes:
+
+* the **score distribution** — fraud probabilities of the window's
+  sessions, compared against a frozen reference window with a
+  two-sample Kolmogorov–Smirnov statistic *and* a two-sided
+  Page–Hinkley (cumulative-sum) test on the window means;
+* the **embedding centroid** — mean embedding of the window's sessions,
+  as relative distance from the reference centroid (covers drift that
+  moves representations without moving calibrated scores);
+* the **novel-token rate** — per-window ``oov_rate`` from the serving
+  layer's OOV counts (covers lexical drift: activities the frozen
+  vocabulary has never seen);
+* the **annotation prevalence** — the window's noisy-positive rate as
+  a binomial z-deviation from the reference rate.  This is the only
+  signal that can see *label-noise-rate* drift: flipping more labels
+  changes nothing about the sessions the model scores, but it directly
+  moves the observed positive rate.
+
+The first ``reference_windows`` windows freeze the reference; after
+that each window yields a :class:`DriftReading` whose ``drift_score``
+is the worst statistic normalised by its threshold (``>= 1`` ⇒ alarm).
+Page–Hinkley keeps per-direction cumulative sums so slow monotone
+shifts accumulate; KS fires on distribution-shape changes a mean test
+misses.  Everything is numpy + stdlib — no scipy — and the monitor
+state round-trips through :meth:`state_dict` as JSON, so a resumed
+stream reproduces the exact same alarm sequence.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["ks_statistic", "DriftReading", "DriftMonitor"]
+
+
+def ks_statistic(a: np.ndarray, b: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic, ``sup |F_a - F_b|``.
+
+    Plain numpy (no scipy in the container): evaluate both empirical
+    CDFs on the pooled sample via ``searchsorted``.
+    """
+    a = np.sort(np.asarray(a, dtype=np.float64))
+    b = np.sort(np.asarray(b, dtype=np.float64))
+    if a.size == 0 or b.size == 0:
+        return 0.0
+    pooled = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
+    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+@dataclasses.dataclass(frozen=True)
+class DriftReading:
+    """Per-window drift verdict with the statistics behind it."""
+
+    window: int
+    n_sessions: int
+    reference_frozen: bool
+    ks: float
+    ph: float
+    centroid_dist: float
+    oov_delta: float
+    label_z: float
+    drift_score: float
+    alarm: bool
+    trigger: str  # which statistic crossed, "" when no alarm
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class DriftMonitor:
+    """Two-sided drift alarm against a frozen reference window.
+
+    Parameters
+    ----------
+    reference_windows: number of initial windows pooled into the frozen
+        reference (scores, centroid, oov rate).
+    ks_threshold: alarm when the KS statistic vs the reference scores
+        exceeds this.
+    ph_delta / ph_threshold: Page–Hinkley slack and alarm level for the
+        two-sided cumulative deviation of window means from the
+        reference mean, in score units.
+    centroid_threshold: alarm on relative centroid displacement
+        ``|c_w - c_ref| / (|c_ref| + eps)``.
+    oov_threshold: alarm on absolute increase of the window OOV rate
+        over the reference OOV rate.
+    label_z_threshold: alarm when the window noisy-positive rate
+        deviates from the reference rate by this many binomial
+        standard errors (two-sided).
+    min_sessions: windows smaller than this are journaled but never
+        alarm (KS on 3 sessions is noise).
+    """
+
+    def __init__(self, *, reference_windows: int = 3,
+                 ks_threshold: float = 0.45,
+                 ph_delta: float = 0.05, ph_threshold: float = 0.5,
+                 centroid_threshold: float = 0.5,
+                 oov_threshold: float = 0.10,
+                 label_z_threshold: float = 3.0,
+                 min_sessions: int = 8):
+        if reference_windows < 1:
+            raise ValueError("reference_windows must be >= 1")
+        self.reference_windows = int(reference_windows)
+        self.ks_threshold = float(ks_threshold)
+        self.ph_delta = float(ph_delta)
+        self.ph_threshold = float(ph_threshold)
+        self.centroid_threshold = float(centroid_threshold)
+        self.oov_threshold = float(oov_threshold)
+        self.label_z_threshold = float(label_z_threshold)
+        self.min_sessions = int(min_sessions)
+        self._ref_scores: list[list[float]] = []
+        self._ref_centroids: list[list[float]] = []
+        self._ref_oov: list[float] = []
+        self._ref_label: list[tuple[float, int]] = []
+        self._frozen = False
+        self._ref_score_arr: list[float] = []
+        self._ref_mean = 0.0
+        self._ref_centroid: list[float] | None = None
+        self._ref_oov_rate = 0.0
+        self._ref_label_rate = 0.0
+        self._ph_pos = 0.0
+        self._ph_neg = 0.0
+        self._windows_observed = 0
+        self._alarms = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """True once the reference window set is complete."""
+        return self._frozen
+
+    @property
+    def alarms(self) -> int:
+        return self._alarms
+
+    @property
+    def windows_observed(self) -> int:
+        return self._windows_observed
+
+    # ------------------------------------------------------------------
+    def observe(self, window_index: int, scores: np.ndarray,
+                embeddings: np.ndarray | None = None,
+                oov_rate: float = 0.0,
+                noisy_rate: float | None = None) -> DriftReading:
+        """Fold one window's statistics in; returns the drift verdict.
+
+        ``scores`` are the window's per-session fraud probabilities,
+        ``embeddings`` an optional ``(n, d)`` matrix of session
+        embeddings, ``oov_rate`` the fraction of out-of-vocabulary
+        tokens among the window's tokens, and ``noisy_rate`` the
+        fraction of sessions the stream annotated positive (None when
+        the stream carries no labels).
+        """
+        scores = np.asarray(scores, dtype=np.float64).ravel()
+        centroid = None
+        if embeddings is not None and len(embeddings):
+            centroid = np.asarray(embeddings,
+                                  dtype=np.float64).mean(axis=0)
+        self._windows_observed += 1
+
+        if not self._frozen:
+            self._ref_scores.append([float(s) for s in scores])
+            if centroid is not None:
+                self._ref_centroids.append([float(c) for c in centroid])
+            self._ref_oov.append(float(oov_rate))
+            if noisy_rate is not None:
+                self._ref_label.append((float(noisy_rate),
+                                        int(scores.size)))
+            if len(self._ref_scores) >= self.reference_windows:
+                self._freeze()
+            return DriftReading(
+                window=window_index, n_sessions=int(scores.size),
+                reference_frozen=self._frozen, ks=0.0, ph=0.0,
+                centroid_dist=0.0, oov_delta=0.0, label_z=0.0,
+                drift_score=0.0, alarm=False, trigger="")
+
+        ref = np.asarray(self._ref_score_arr, dtype=np.float64)
+        ks = ks_statistic(ref, scores) if scores.size else 0.0
+
+        if scores.size:
+            deviation = float(scores.mean()) - self._ref_mean
+            self._ph_pos = max(0.0,
+                               self._ph_pos + deviation - self.ph_delta)
+            self._ph_neg = max(0.0,
+                               self._ph_neg - deviation - self.ph_delta)
+        ph = max(self._ph_pos, self._ph_neg)
+
+        centroid_dist = 0.0
+        if centroid is not None and self._ref_centroid is not None:
+            ref_c = np.asarray(self._ref_centroid, dtype=np.float64)
+            centroid_dist = float(np.linalg.norm(centroid - ref_c)
+                                  / (np.linalg.norm(ref_c) + 1e-12))
+
+        oov_delta = max(0.0, float(oov_rate) - self._ref_oov_rate)
+
+        label_z = 0.0
+        if noisy_rate is not None and self._ref_label and scores.size:
+            p = self._ref_label_rate
+            se = np.sqrt(max(p * (1.0 - p), 1e-4) / scores.size)
+            label_z = float(abs(float(noisy_rate) - p) / se)
+
+        ratios = {
+            "ks": ks / self.ks_threshold,
+            "ph": ph / self.ph_threshold,
+            "centroid": centroid_dist / self.centroid_threshold,
+            "oov": oov_delta / self.oov_threshold,
+            "label": label_z / self.label_z_threshold,
+        }
+        trigger = max(ratios, key=lambda k: ratios[k])
+        drift_score = ratios[trigger]
+        alarm = (drift_score >= 1.0
+                 and scores.size >= self.min_sessions)
+        if alarm:
+            self._alarms += 1
+        return DriftReading(
+            window=window_index, n_sessions=int(scores.size),
+            reference_frozen=True, ks=ks, ph=ph,
+            centroid_dist=centroid_dist, oov_delta=oov_delta,
+            label_z=label_z, drift_score=float(drift_score), alarm=alarm,
+            trigger=trigger if alarm else "")
+
+    def reset(self) -> None:
+        """Re-arm after re-correction: next windows rebuild the reference.
+
+        The model just changed, so the old score reference describes a
+        model that no longer serves; keeping it would re-alarm forever.
+        """
+        self._ref_scores = []
+        self._ref_centroids = []
+        self._ref_oov = []
+        self._ref_label = []
+        self._frozen = False
+        self._ref_score_arr = []
+        self._ref_mean = 0.0
+        self._ref_centroid = None
+        self._ref_oov_rate = 0.0
+        self._ref_label_rate = 0.0
+        self._ph_pos = 0.0
+        self._ph_neg = 0.0
+
+    # ------------------------------------------------------------------
+    def _freeze(self) -> None:
+        pooled = [s for window in self._ref_scores for s in window]
+        self._ref_score_arr = pooled
+        self._ref_mean = float(np.mean(pooled)) if pooled else 0.0
+        if self._ref_centroids:
+            self._ref_centroid = [
+                float(v) for v in np.mean(
+                    np.asarray(self._ref_centroids, dtype=np.float64),
+                    axis=0)]
+        self._ref_oov_rate = (float(np.mean(self._ref_oov))
+                              if self._ref_oov else 0.0)
+        if self._ref_label:
+            total = sum(n for _, n in self._ref_label)
+            self._ref_label_rate = (
+                sum(rate * n for rate, n in self._ref_label)
+                / max(total, 1))
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Complete JSON-serialisable snapshot of the monitor state."""
+        return {
+            "ref_scores": [list(w) for w in self._ref_scores],
+            "ref_centroids": [list(c) for c in self._ref_centroids],
+            "ref_oov": list(self._ref_oov),
+            "ref_label": [list(pair) for pair in self._ref_label],
+            "frozen": self._frozen,
+            "ref_score_arr": list(self._ref_score_arr),
+            "ref_mean": self._ref_mean,
+            "ref_centroid": (None if self._ref_centroid is None
+                             else list(self._ref_centroid)),
+            "ref_oov_rate": self._ref_oov_rate,
+            "ref_label_rate": self._ref_label_rate,
+            "ph_pos": self._ph_pos,
+            "ph_neg": self._ph_neg,
+            "windows_observed": self._windows_observed,
+            "alarms": self._alarms,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot in place."""
+        self._ref_scores = [list(w) for w in state["ref_scores"]]
+        self._ref_centroids = [list(c) for c in state["ref_centroids"]]
+        self._ref_oov = list(state["ref_oov"])
+        self._ref_label = [(float(r), int(n))
+                           for r, n in state["ref_label"]]
+        self._frozen = bool(state["frozen"])
+        self._ref_score_arr = list(state["ref_score_arr"])
+        self._ref_mean = float(state["ref_mean"])
+        ref_centroid = state["ref_centroid"]
+        self._ref_centroid = (None if ref_centroid is None
+                              else list(ref_centroid))
+        self._ref_oov_rate = float(state["ref_oov_rate"])
+        self._ref_label_rate = float(state["ref_label_rate"])
+        self._ph_pos = float(state["ph_pos"])
+        self._ph_neg = float(state["ph_neg"])
+        self._windows_observed = int(state["windows_observed"])
+        self._alarms = int(state["alarms"])

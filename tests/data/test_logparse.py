@@ -189,3 +189,31 @@ def test_frozen_miner_all_unmatched_raises():
             [LogRecord("e", "completely different unseen line", label=0)],
             miner=miner, grow=False,
         )
+
+
+def test_frozen_miner_counts_novel_messages():
+    miner = LogTemplateMiner()
+    miner.fit_message("job 1 started")
+    miner.fit_message("job 1 finished")
+    assert miner.novel_count == 0
+
+    sequences, _ = parse_log_records(
+        [LogRecord("e", "job 9 started", label=0),
+         LogRecord("e", "never seen before at all", label=0),
+         LogRecord("e", "second unseen kind of line", label=0)],
+        miner=miner, grow=False,
+    )
+    assert sequences["e"] == [0]   # only the matched message survives
+    assert miner.novel_count == 2  # ...but every miss is tallied
+    assert miner.reset_novel_count() == 2
+    assert miner.novel_count == 0
+
+
+def test_growing_miner_never_counts_novel():
+    miner = LogTemplateMiner()
+    parse_log_records(
+        [LogRecord("e", "alpha beta", label=0),
+         LogRecord("e", "gamma delta epsilon", label=0)],
+        miner=miner,
+    )
+    assert miner.novel_count == 0

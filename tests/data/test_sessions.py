@@ -48,6 +48,14 @@ def test_vocabulary_unknown_token_raises(vocab):
         vocab.encode(["missing"])
 
 
+def test_vocabulary_encode_frozen_drops_and_counts(vocab):
+    ids, novel = vocab.encode_frozen(["a", "missing", "c", "missing2"])
+    assert ids == [1, 3]   # known tokens only, order preserved
+    assert novel == 2      # OOV tokens surfaced, never mapped to pad
+    assert vocab.encode_frozen([]) == ([], 0)
+    assert "missing" not in vocab  # frozen: nothing was added
+
+
 def test_session_validation():
     with pytest.raises(ValueError):
         Session([], NORMAL)

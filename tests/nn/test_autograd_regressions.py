@@ -46,6 +46,39 @@ def test_no_grad_still_blocks_graph_construction():
 
 
 # ----------------------------------------------------------------------
+# Bug 5: grad mode was a process-global, so an inference thread inside
+# no_grad() (e.g. the serving engine's batcher) stripped the autograd
+# graph out from under a concurrently-training thread — observed as
+# "backward() on a tensor that does not require grad" when the stream
+# processor fine-tuned a model while its engine kept serving.
+# ----------------------------------------------------------------------
+def test_grad_mode_is_thread_local():
+    import threading
+
+    inside = threading.Event()
+    release = threading.Event()
+
+    def hold_no_grad():
+        with nn.no_grad():
+            inside.set()
+            release.wait(timeout=30)
+
+    worker = threading.Thread(target=hold_no_grad)
+    worker.start()
+    try:
+        assert inside.wait(timeout=30)
+        # The other thread sits inside no_grad(); this thread must
+        # still build graphs and backpropagate.
+        assert nn.is_grad_enabled()
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 3.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 3.0))
+    finally:
+        release.set()
+        worker.join(timeout=30)
+
+
+# ----------------------------------------------------------------------
 # Bug 2: the __array__ protocol.
 # ----------------------------------------------------------------------
 def test_asarray_returns_float_array():

@@ -1,0 +1,73 @@
+"""Shared streaming fixtures: one stronger tiny CLFD + drifting streams.
+
+The serve fixtures' scale-0.02 model is deliberately weak (serving
+tests only care about plumbing).  Drift detection needs a model whose
+score distributions actually separate stationary from drifted windows,
+so the stream fixture trains at scale 0.05 with a slightly wider net —
+still ~2 s, reaching ~85% test AUC on cert — and every processor test
+shares the one session-scoped archive.
+
+The stream/window/monitor knobs here are pinned together with the
+synthesis seeds: at these settings the stationary stream raises zero
+alarms and drift injected at window 6 alarms within 1-2 windows
+(validated over seeds 11 and 23).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CLFD, CLFDConfig
+from repro.core import save_clfd
+from repro.data import Word2VecConfig, apply_uniform_noise, make_dataset
+from repro.serve import ServeConfig
+from repro.stream import StreamConfig, synthesize_drifting_events
+
+STREAM_MODEL_CONFIG = dict(
+    embedding_dim=16,
+    hidden_size=24,
+    batch_size=32,
+    aux_batch_size=8,
+    ssl_epochs=2,
+    supcon_epochs=4,
+    classifier_epochs=40,
+    word2vec=Word2VecConfig(dim=16, epochs=2),
+)
+
+STREAM_CONFIG = StreamConfig(
+    window_size=60.0, session_gap=4.0, max_session_len=16,
+    recorrect_windows=5, head_epochs=30, max_recorrections=2)
+
+SERVE_CONFIG = ServeConfig(verbose=False)
+
+# Sessions start 3 time units apart, so with 240 sessions drift begins
+# at session 120 = t=360 = tumbling window 6 at window_size 60.
+DRIFT_WINDOW = 6
+
+
+def drifting_events(drift="archetype+noise", seed=11, n_sessions=240):
+    return synthesize_drifting_events(
+        "cert", n_sessions=n_sessions, drift=drift,
+        eta=0.1, eta_after=0.45,
+        malicious_rate=0.1, malicious_rate_after=0.45,
+        spacing=3.0, max_session_length=16, rng=seed)
+
+
+@pytest.fixture(scope="session")
+def stream_split():
+    rng = np.random.default_rng(7)
+    train, test = make_dataset("cert", rng, scale=0.05)
+    apply_uniform_noise(train, eta=0.1, rng=rng)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def stream_model(stream_split):
+    train, _ = stream_split
+    return CLFD(CLFDConfig(**STREAM_MODEL_CONFIG)).fit(
+        train, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def stream_archive(stream_model, tmp_path_factory):
+    return save_clfd(stream_model,
+                     tmp_path_factory.mktemp("stream") / "model")

@@ -1,0 +1,172 @@
+"""DriftMonitor: each statistic, the alarm policy, and state round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.stream import DriftMonitor, ks_statistic
+
+N = 64
+
+
+def _monitor(**overrides):
+    kwargs = dict(reference_windows=2, min_sessions=8)
+    kwargs.update(overrides)
+    return DriftMonitor(**kwargs)
+
+
+def _ref_scores(rng):
+    return rng.uniform(0.1, 0.4, size=N)
+
+
+def _feed_reference(monitor, rng, *, embeddings=None, oov_rate=0.0,
+                    noisy_rate=0.1):
+    for i in range(monitor.reference_windows):
+        reading = monitor.observe(i, _ref_scores(rng), embeddings,
+                                  oov_rate, noisy_rate=noisy_rate)
+        assert not reading.alarm
+    assert monitor.frozen
+    return monitor.reference_windows
+
+
+def test_ks_statistic_bounds():
+    rng = np.random.default_rng(0)
+    same = rng.uniform(size=100)
+    assert ks_statistic(same, same) == 0.0
+    assert ks_statistic(np.zeros(10), np.ones(10)) == 1.0
+    assert ks_statistic(np.array([]), same) == 0.0
+    shifted = ks_statistic(rng.uniform(size=200),
+                           rng.uniform(size=200) + 0.5)
+    assert 0.4 < shifted <= 1.0
+
+
+def test_reference_phase_never_alarms():
+    monitor = _monitor(reference_windows=3)
+    rng = np.random.default_rng(1)
+    readings = [monitor.observe(i, _ref_scores(rng), noisy_rate=0.1)
+                for i in range(3)]
+    assert [r.reference_frozen for r in readings] == [False, False, True]
+    assert all(r.drift_score == 0.0 for r in readings)
+    assert monitor.alarms == 0
+
+
+def test_stationary_windows_stay_silent():
+    monitor = _monitor()
+    rng = np.random.default_rng(2)
+    window = _feed_reference(monitor, rng)
+    for i in range(10):
+        reading = monitor.observe(window + i, _ref_scores(rng),
+                                  noisy_rate=0.1)
+        assert not reading.alarm, reading
+    assert monitor.alarms == 0
+
+
+def test_score_distribution_shift_triggers_ks():
+    monitor = _monitor()
+    rng = np.random.default_rng(3)
+    window = _feed_reference(monitor, rng)
+    reading = monitor.observe(window, rng.uniform(0.7, 0.95, size=N),
+                              noisy_rate=0.1)
+    assert reading.alarm
+    assert reading.trigger == "ks"
+    assert monitor.alarms == 1
+
+
+def test_slow_mean_creep_triggers_page_hinkley():
+    # Each window's shift is too small for KS-at-threshold, but the
+    # cumulative deviation accumulates past the PH level.
+    monitor = _monitor(ks_threshold=2.0, label_z_threshold=1e9)
+    rng = np.random.default_rng(4)
+    window = _feed_reference(monitor, rng)
+    reading = None
+    for i in range(12):
+        reading = monitor.observe(window + i,
+                                  _ref_scores(rng) + 0.15,
+                                  noisy_rate=0.1)
+        if reading.alarm:
+            break
+    assert reading.alarm
+    assert reading.trigger == "ph"
+
+
+def test_embedding_centroid_shift_triggers_centroid():
+    monitor = _monitor()
+    rng = np.random.default_rng(5)
+    ref_emb = rng.normal(loc=1.0, scale=0.01, size=(N, 4))
+    window = _feed_reference(monitor, rng, embeddings=ref_emb)
+    reading = monitor.observe(window, _ref_scores(rng),
+                              ref_emb + 2.0, noisy_rate=0.1)
+    assert reading.alarm
+    assert reading.trigger == "centroid"
+
+
+def test_oov_rate_jump_triggers_oov():
+    monitor = _monitor()
+    rng = np.random.default_rng(6)
+    window = _feed_reference(monitor, rng, oov_rate=0.01)
+    reading = monitor.observe(window, _ref_scores(rng),
+                              oov_rate=0.5, noisy_rate=0.1)
+    assert reading.alarm
+    assert reading.trigger == "oov"
+
+
+def test_label_prevalence_shift_triggers_label_z():
+    # Label-noise drift is invisible to score/embedding statistics (the
+    # model never sees labels); the binomial-z prevalence test is the
+    # signal that covers it.
+    monitor = _monitor()
+    rng = np.random.default_rng(7)
+    window = _feed_reference(monitor, rng, noisy_rate=0.1)
+    reading = monitor.observe(window, _ref_scores(rng), noisy_rate=0.5)
+    assert reading.alarm
+    assert reading.trigger == "label"
+
+
+def test_small_windows_never_alarm():
+    monitor = _monitor(min_sessions=8)
+    rng = np.random.default_rng(8)
+    window = _feed_reference(monitor, rng)
+    reading = monitor.observe(window, np.full(4, 0.95), noisy_rate=0.1)
+    assert reading.drift_score >= 1.0
+    assert not reading.alarm
+    assert monitor.alarms == 0
+
+
+def test_reset_rearms_but_keeps_counters():
+    monitor = _monitor()
+    rng = np.random.default_rng(9)
+    window = _feed_reference(monitor, rng)
+    assert monitor.observe(window, np.full(N, 0.95),
+                           noisy_rate=0.1).alarm
+    seen = monitor.windows_observed
+    monitor.reset()
+    assert not monitor.frozen
+    assert monitor.alarms == 1
+    assert monitor.windows_observed == seen
+    # The same extreme window is now reference material, not an alarm.
+    assert not monitor.observe(window + 1, np.full(N, 0.95),
+                               noisy_rate=0.1).alarm
+
+
+def test_state_round_trip_reproduces_readings():
+    rng_a = np.random.default_rng(10)
+    rng_b = np.random.default_rng(10)
+    a = _monitor()
+    b = _monitor()
+    window = _feed_reference(a, rng_a)
+    _feed_reference(b, rng_b)
+    a.observe(window, _ref_scores(rng_a) + 0.08, noisy_rate=0.15)
+    b.observe(window, _ref_scores(rng_b) + 0.08, noisy_rate=0.15)
+
+    restored = _monitor()
+    restored.load_state_dict(json.loads(json.dumps(a.state_dict())))
+    probe = np.random.default_rng(11).uniform(0.2, 0.9, size=N)
+    assert (restored.observe(window + 1, probe, noisy_rate=0.3)
+            == b.observe(window + 1, probe, noisy_rate=0.3))
+    assert restored.alarms == b.alarms
+
+
+def test_reference_windows_validation():
+    with pytest.raises(ValueError):
+        DriftMonitor(reference_windows=0)

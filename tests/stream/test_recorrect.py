@@ -1,0 +1,95 @@
+"""Online re-correction: frozen-vocab encoding and head fine-tuning."""
+
+import numpy as np
+import pytest
+
+from repro.core import load_clfd
+from repro.stream import (
+    SessionWindower,
+    StreamSession,
+    build_recent_dataset,
+    recorrect_model,
+)
+
+from .conftest import drifting_events
+
+
+def _session(activities, noisy_label=0, label=0, entity="e0"):
+    return StreamSession(
+        session_id=f"{entity}/0", entity=entity,
+        activities=tuple(activities), noisy_label=noisy_label,
+        label=label, first_time=0.0, last_time=1.0, close_time=2.0,
+        start_offset=0, end_offset=1)
+
+
+def _recent_sessions(n=80):
+    """Closed sessions straight from the windower, like the processor's."""
+    windower = SessionWindower(window_size=60.0, session_gap=4.0,
+                               max_session_len=16)
+    sessions = []
+    for event in drifting_events(n_sessions=n):
+        for window in windower.process(event):
+            sessions.extend(window.sessions)
+    for window in windower.flush():
+        sessions.extend(window.sessions)
+    return sessions
+
+
+def test_build_recent_dataset_encodes_against_frozen_vocab(stream_model):
+    vocab = stream_model.vectorizer.vocab
+    known = [t for t in vocab.tokens()[1:3]]
+    sessions = [
+        _session(known + ["never-seen-token"], noisy_label=1, label=0),
+        _session(["also-unseen", "another-unseen"], entity="e1"),
+        _session(known, entity="e2"),
+    ]
+    dataset, dropped, oov = build_recent_dataset(sessions, stream_model)
+    assert dropped == 1            # the all-OOV session vanishes
+    assert oov == 3                # ...but every novel token is counted
+    assert len(dataset) == 2
+    assert list(dataset.sessions[0].activities) == vocab.encode(known)
+    assert dataset.sessions[0].noisy_label == 1
+    assert dataset.sessions[0].label == 0
+
+
+def test_build_recent_dataset_passes_integer_ids_through(stream_model):
+    dataset, dropped, oov = build_recent_dataset(
+        [_session([1, 2, 3])], stream_model)
+    assert (dropped, oov) == (0, 0)
+    assert list(dataset.sessions[0].activities) == [1, 2, 3]
+
+
+def test_build_recent_dataset_empty_survivors(stream_model):
+    dataset, dropped, oov = build_recent_dataset(
+        [_session(["nope"], entity="e9")], stream_model)
+    assert dataset is None
+    assert (dropped, oov) == (1, 1)
+
+
+def test_recorrect_model_writes_a_loadable_archive(stream_archive,
+                                                   tmp_path):
+    model = load_clfd(stream_archive)
+    sessions = _recent_sessions()
+    result = recorrect_model(
+        model, sessions, np.random.default_rng(0), generation=1,
+        archive_dir=tmp_path, head_epochs=5)
+    assert result.archive.exists()
+    assert result.archive.name == "model-gen1.npz"
+    assert result.generation == 1
+    assert result.n_sessions == len(sessions) - result.n_dropped
+    assert result.flipped >= 0
+    assert np.isfinite(result.corrector_loss)
+    assert np.isfinite(result.detector_loss)
+
+    refreshed = load_clfd(result.archive)
+    assert refreshed.fraud_detector is not None
+    assert refreshed.label_corrector is not None
+
+
+def test_recorrect_model_requires_corrector(stream_archive, tmp_path):
+    model = load_clfd(stream_archive)
+    model.label_corrector = None
+    with pytest.raises(ValueError, match="corrector"):
+        recorrect_model(model, _recent_sessions(20),
+                        np.random.default_rng(0), generation=1,
+                        archive_dir=tmp_path)

@@ -1,0 +1,107 @@
+"""Stream gauges on /v1/metrics and hot-swap behind a live HTTP server.
+
+The processor shares its engine with a :class:`ServingServer`, so the
+drift gauges ride the existing metrics surface with no new endpoints —
+and a rolling reload mid-stream must never fail a concurrent request.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ServeConfig, ServingServer
+from repro.stream import StreamProcessor
+
+from .conftest import STREAM_CONFIG, drifting_events
+
+
+@pytest.fixture
+def stream_server(stream_archive, tmp_path):
+    proc = StreamProcessor(
+        stream_archive, tmp_path / "w",
+        config=STREAM_CONFIG.replace(max_recorrections=1),
+        serve_config=ServeConfig(port=0, verbose=False))
+    srv = ServingServer(proc.engine, model_name="stream-model")
+    srv.start_background()
+    yield proc, srv
+    srv.shutdown()
+    proc.close()
+
+
+def _get_json(port, path):
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30) as resp:
+        return json.load(resp)
+
+
+def _score(port, activities):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/score",
+        data=json.dumps({"activities": activities}).encode(),
+        headers={"Content-Type": "application/json"})
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+def test_hot_swap_serves_through_without_failures(stream_server):
+    proc, srv = stream_server
+
+    status, body = _score(srv.port, [1, 2, 3])
+    assert status == 200
+    assert body["generation"] == 0
+
+    failures = []
+    generations = set()
+    stop = threading.Event()
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                status, body = _score(srv.port, [1, 2, 3, 2])
+            except urllib.error.URLError as exc:  # pragma: no cover
+                failures.append(repr(exc))
+                return
+            if status != 200:  # pragma: no cover
+                failures.append(status)
+                return
+            generations.add(body["generation"])
+
+    client = threading.Thread(target=hammer)
+    client.start()
+    try:
+        proc.process_events(drifting_events())
+        proc.finish()
+    finally:
+        stop.set()
+        client.join(timeout=60)
+
+    assert not failures
+    assert proc.model_generation == 1
+    # The concurrent client saw the swap happen, not an outage.
+    assert 0 in generations
+    status, body = _score(srv.port, [1, 2, 3])
+    assert status == 200
+    assert body["generation"] == 1
+
+
+def test_stream_gauges_on_metrics_endpoint(stream_server):
+    proc, srv = stream_server
+    proc.process_events(drifting_events(n_sessions=80, drift="none"))
+    proc.finish()
+
+    snap = _get_json(srv.port, "/v1/metrics?format=json")
+    gauges = snap["gauges"]
+    assert gauges["stream_windows_processed"] == proc.windows_processed
+    assert gauges["stream_recorrect_generation"] == 0
+    assert gauges["stream_alarms_total"] == 0
+    assert "stream_drift_score" in gauges
+
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{srv.port}/v1/metrics",
+            timeout=30) as resp:
+        prom = resp.read().decode()
+    assert "repro_serve_stream_windows_processed" in prom
+    assert "repro_serve_stream_drift_score" in prom
