@@ -1,0 +1,83 @@
+"""Multi-host coordinator benchmark: work-stealing overhead + analysis.
+
+Runs the same smoke-scale grid three ways — sequential, through the
+coordinated work-stealing tier with local workers, and warm from the
+shared cache — then pushes the cache through ``analyze_cache``.  The
+assertions are the tentpole guarantees: coordinated execution is
+bit-identical to sequential, the shared RunCache makes a coordinated
+sweep resumable as a single-host one, and the analysis layer renders
+mean±std plus Holm-corrected paired tests from the cache alone.
+
+Marked ``smoke``: 12 tiny DeepLog/LogBert cells, seconds end to end.
+"""
+
+import math
+import os
+
+import pytest
+
+from repro.analysis import analyze_cache
+from repro.baselines import BaselineConfig
+from repro.data import Word2VecConfig, clear_split_cache
+from repro.parallel import GridExecutor, RunCache, TaskSpec
+
+pytestmark = pytest.mark.smoke
+
+WORKERS = 2
+
+
+def _smoke_grid():
+    config = BaselineConfig(embedding_dim=12, hidden_size=16, epochs=2,
+                            batch_size=32,
+                            word2vec=Word2VecConfig(dim=12, epochs=1))
+    return [
+        TaskSpec(model=model, estimator=model, config=config, dataset="cert",
+                 noise_kind="uniform", noise_params=(eta,), seed=seed,
+                 scale=0.02)
+        for model in ("DeepLog", "LogBert")
+        for eta in (0.2, 0.45)
+        for seed in range(3)
+    ]
+
+
+def _same(a, b):
+    return a == b or (isinstance(a, float) and isinstance(b, float)
+                      and math.isnan(a) and math.isnan(b))
+
+
+def test_coordinated_grid_bit_identical_and_analyzable(report, tmp_path):
+    specs = _smoke_grid()
+    cache = RunCache(tmp_path / "run-cache")
+
+    clear_split_cache()
+    sequential = GridExecutor(workers=1)
+    seq_results = sequential.run(specs)
+    seq_wall = sequential.last_wall_seconds
+
+    clear_split_cache()
+    coordinated = GridExecutor(workers=WORKERS, coordinate=True, cache=cache)
+    coord_results = coordinated.run(specs)
+    coord_wall = coordinated.last_wall_seconds
+
+    warm = GridExecutor(workers=WORKERS, coordinate=True, cache=cache)
+    warm_results = warm.run(specs)
+    warm_wall = warm.last_wall_seconds
+
+    report(f"grid coordinator: {len(specs)} cells, "
+           f"cpu_count={os.cpu_count()}")
+    report(f"  sequential (1 worker)        {seq_wall:8.2f}s")
+    report(f"  coordinated ({WORKERS} local workers) {coord_wall:8.2f}s")
+    report(f"  warm resume from shared cache{warm_wall:8.2f}s")
+
+    assert all(r.ok for r in seq_results)
+    for seq, coord, res in zip(seq_results, coord_results, warm_results):
+        assert set(seq.metrics) == set(coord.metrics) == set(res.metrics)
+        for name in seq.metrics:
+            assert _same(coord.metrics[name], seq.metrics[name]), name
+            assert _same(res.metrics[name], seq.metrics[name]), name
+    assert all(r.cached for r in warm_results)
+
+    tables = analyze_cache(cache, metric="f1", target="DeepLog", fmt="both")
+    assert "p (t, Holm)" in tables
+    assert "\\begin{tabular}" in tables
+    report("  analyze: aggregation + Holm-corrected paired tests render ok")

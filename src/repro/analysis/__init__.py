@@ -1,4 +1,4 @@
-"""Diagnostics: representation geometry and confidence calibration."""
+"""Diagnostics: representation geometry, calibration, and sweep analysis."""
 
 from .calibration import (
     confidence_threshold_sweep,
@@ -6,6 +6,25 @@ from .calibration import (
     reliability_curve,
 )
 from .plots import ascii_bars, ascii_curve, ascii_roc
+from .stats import (
+    PairedTest,
+    holm_correction,
+    paired_t_test,
+    t_sf,
+    wilcoxon_signed_rank,
+)
+from .tables import (
+    SignificanceRow,
+    SweepCell,
+    analyze_cache,
+    cross_seed_table,
+    load_sweep_records,
+    render_latex,
+    render_markdown,
+    render_significance_latex,
+    render_significance_markdown,
+    significance_report,
+)
 from .representation import (
     RepresentationReport,
     centroid_separability,
@@ -23,4 +42,10 @@ __all__ = [
     "reliability_curve", "expected_calibration_error",
     "confidence_threshold_sweep",
     "ascii_curve", "ascii_bars", "ascii_roc",
+    "PairedTest", "paired_t_test", "wilcoxon_signed_rank",
+    "holm_correction", "t_sf",
+    "SweepCell", "SignificanceRow", "load_sweep_records",
+    "cross_seed_table", "significance_report", "analyze_cache",
+    "render_markdown", "render_latex",
+    "render_significance_markdown", "render_significance_latex",
 ]

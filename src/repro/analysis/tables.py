@@ -1,0 +1,374 @@
+"""Publication-ready analysis over sweep output.
+
+Turns a (possibly multi-host) sweep's :class:`~repro.parallel.RunCache`
+into the artifacts the paper actually reports: cross-seed aggregation
+(mean ± std per model × dataset × noise cell), paired significance
+tests of a target model against every baseline (paired t and Wilcoxon
+signed-rank, Holm-corrected across the baseline family), and rendering
+as markdown or LaTeX.
+
+The cache is the natural input: records are content-keyed and
+self-describing (model, dataset, noise, seed, scale, measure, metrics),
+so ``repro analyze`` works identically on a sweep that just finished,
+on one resumed across interruptions, and on one computed by a dozen
+hosts into a shared directory.  Per-seed values are kept — the
+aggregated mean±std the table runners print is not enough for paired
+tests, which need the seed-aligned vectors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..parallel.cache import RunCache
+from .stats import PairedTest, holm_correction, paired_t_test, \
+    wilcoxon_signed_rank
+
+__all__ = ["SweepCell", "SignificanceRow", "load_sweep_records",
+           "cross_seed_table", "significance_report", "render_markdown",
+           "render_latex", "render_significance_markdown",
+           "render_significance_latex", "noise_label", "analyze_cache"]
+
+
+def noise_label(noise: Sequence) -> str:
+    """Same labels TaskSpec/the runners use, reconstructed from a
+    cache record's serialised ``[kind, params]`` pair."""
+    kind, params = noise[0], [float(p) for p in noise[1]]
+    if kind == "uniform":
+        return f"eta={params[0]}"
+    if kind == "class-dependent":
+        return f"eta10={params[0]},eta01={params[1]}"
+    return "clean"
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """One (model, dataset, noise) cell's cross-seed aggregate."""
+
+    model: str
+    dataset: str
+    noise: str
+    seeds: list[int]
+    values: list[float]  # metric value per seed, aligned with `seeds`
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    @property
+    def std(self) -> float:
+        # ddof=0 matches MetricSummary / summarize_runs.
+        return float(np.std(self.values)) if self.values else float("nan")
+
+    def format(self, digits: int = 2) -> str:
+        return f"{self.mean:.{digits}f}±{self.std:.{digits}f}"
+
+
+@dataclasses.dataclass
+class SignificanceRow:
+    """Target vs one baseline: both paired tests, Holm-adjusted."""
+
+    baseline: str
+    t: PairedTest
+    wilcoxon: PairedTest
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        p = self.t.adjusted_pvalue
+        return p is not None and not math.isnan(p) and p < alpha
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def load_sweep_records(cache: RunCache | str | os.PathLike,
+                       measure: str = "test_metrics") -> list[dict]:
+    """Read every valid record of ``measure`` kind from a run cache.
+
+    Corrupt or torn records are skipped exactly as the executor skips
+    them (they re-run on the next sweep, so they are not results yet).
+    """
+    if not isinstance(cache, RunCache):
+        cache = RunCache(cache)
+    records = []
+    for path in sorted(cache.root.glob("*.json")):
+        record = cache.get(path.stem)
+        if record is None or not isinstance(record.get("metrics"), dict):
+            continue
+        if record.get("measure", "test_metrics") != measure:
+            continue
+        records.append(record)
+    return records
+
+
+def _grouped(records: Iterable[dict], metric: str
+             ) -> dict[tuple[str, str, str], dict[int, float]]:
+    """(model, dataset, noise) -> {seed: value}; conflicting duplicates
+    (same cell, same seed, different value — two different configs
+    sharing one cache dir under one display name) raise rather than
+    silently averaging apples with oranges."""
+    grouped: dict[tuple[str, str, str], dict[int, float]] = {}
+    for record in records:
+        metrics = record["metrics"]
+        if metric not in metrics:
+            continue
+        value = metrics[metric]
+        if value is None:
+            value = float("nan")
+        cell = (str(record.get("model", record.get("estimator", "?"))),
+                str(record["dataset"]), noise_label(record["noise"]))
+        seed = int(record["seed"])
+        per_seed = grouped.setdefault(cell, {})
+        if seed in per_seed:
+            existing = per_seed[seed]
+            same = (existing == value
+                    or (math.isnan(existing) and math.isnan(float(value))))
+            if not same:
+                raise ValueError(
+                    f"conflicting records for {cell} seed {seed}: "
+                    f"{existing!r} vs {value!r} — this cache directory "
+                    f"mixes sweeps with different configs under the same "
+                    f"model name; analyze them separately")
+        per_seed[seed] = float(value)
+    return grouped
+
+
+# ----------------------------------------------------------------------
+# Aggregation + significance
+# ----------------------------------------------------------------------
+def cross_seed_table(records: Iterable[dict], metric: str = "f1",
+                     ) -> list[SweepCell]:
+    """Aggregate a metric over seeds for every (model, dataset, noise)."""
+    cells = []
+    for (model, dataset, noise), per_seed in sorted(
+            _grouped(records, metric).items()):
+        seeds = sorted(per_seed)
+        cells.append(SweepCell(model=model, dataset=dataset, noise=noise,
+                               seeds=seeds,
+                               values=[per_seed[s] for s in seeds]))
+    return cells
+
+
+def significance_report(records: Iterable[dict], metric: str = "f1",
+                        target: str = "CLFD") -> list[SignificanceRow]:
+    """Paired tests of ``target`` against every other model.
+
+    Pairs are matched on (dataset, noise, seed) — the axes the paper
+    holds fixed when comparing models — pooled across datasets and
+    noise levels so small per-cell seed counts still yield a usable n.
+    Non-finite pairs (an undefined metric on either side) are dropped
+    by the tests themselves.  Holm correction is applied per test
+    family across the baselines.
+    """
+    records = list(records)
+    grouped = _grouped(records, metric)
+    target_values: dict[tuple[str, str, int], float] = {}
+    for (model, dataset, noise), per_seed in grouped.items():
+        if model == target:
+            for seed, value in per_seed.items():
+                target_values[(dataset, noise, seed)] = value
+    if not target_values:
+        raise ValueError(f"no records for target model {target!r}; "
+                         f"models present: "
+                         f"{sorted({m for m, _, _ in grouped})}")
+
+    rows = []
+    for baseline in sorted({model for model, _, _ in grouped
+                            if model != target}):
+        x, y = [], []
+        for (model, dataset, noise), per_seed in grouped.items():
+            if model != baseline:
+                continue
+            for seed, value in per_seed.items():
+                t_value = target_values.get((dataset, noise, seed))
+                if t_value is not None:
+                    x.append(t_value)
+                    y.append(value)
+        if len(x) < 2:
+            continue  # nothing to pair — different sweep axes
+        rows.append(SignificanceRow(baseline=baseline,
+                                    t=paired_t_test(x, y),
+                                    wilcoxon=wilcoxon_signed_rank(x, y)))
+
+    for family in ("t", "wilcoxon"):
+        adjusted = holm_correction([getattr(r, family).pvalue
+                                    for r in rows])
+        for row, p in zip(rows, adjusted):
+            setattr(row, family, getattr(row, family).adjusted(p))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _table_axes(cells: Sequence[SweepCell]):
+    models = list(dict.fromkeys(c.model for c in cells))
+    datasets = sorted({c.dataset for c in cells})
+    noises = list(dict.fromkeys(c.noise for c in cells))
+    index = {(c.model, c.dataset, c.noise): c for c in cells}
+    return models, datasets, noises, index
+
+
+def _p_str(p: float | None) -> str:
+    if p is None or math.isnan(p):
+        return "—"
+    if p < 1e-4:
+        return f"{p:.1e}"
+    return f"{p:.4f}"
+
+
+def render_markdown(cells: Sequence[SweepCell], metric: str = "f1",
+                    digits: int = 2) -> str:
+    """Cross-seed table as GitHub markdown: model × noise rows,
+    dataset columns, mean±std cells with the seed count."""
+    models, datasets, noises, index = _table_axes(cells)
+    lines = [f"| Model | Noise | " + " | ".join(
+        f"{d} ({metric}, mean±std)" for d in datasets) + " |"]
+    lines.append("|" + "---|" * (2 + len(datasets)))
+    for model in models:
+        for noise in noises:
+            row = [model, noise]
+            any_cell = False
+            for dataset in datasets:
+                cell = index.get((model, dataset, noise))
+                if cell is None:
+                    row.append("—")
+                else:
+                    row.append(f"{cell.format(digits)} (n={cell.n})")
+                    any_cell = True
+            if any_cell:
+                lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_latex(cells: Sequence[SweepCell], metric: str = "f1",
+                 digits: int = 2, caption: str | None = None,
+                 label: str | None = None) -> str:
+    """Cross-seed table as a LaTeX ``table`` with booktabs rules."""
+    models, datasets, noises, index = _table_axes(cells)
+    column_spec = "ll" + "c" * len(datasets)
+    lines = ["\\begin{table}[t]", "\\centering"]
+    if caption:  # caller may embed math — escape metric names upstream
+        lines.append(f"\\caption{{{caption}}}")
+    if label:
+        lines.append(f"\\label{{{label}}}")
+    lines += [f"\\begin{{tabular}}{{{column_spec}}}", "\\toprule"]
+    header = ["Model", "Noise"] + [_latex_escape(f"{d} ({metric})")
+                                   for d in datasets]
+    lines.append(" & ".join(header) + " \\\\")
+    lines.append("\\midrule")
+    for model in models:
+        for noise in noises:
+            row = [_latex_escape(model), _latex_escape(noise)]
+            any_cell = False
+            for dataset in datasets:
+                cell = index.get((model, dataset, noise))
+                if cell is None:
+                    row.append("---")
+                else:
+                    row.append(f"${cell.mean:.{digits}f} \\pm "
+                               f"{cell.std:.{digits}f}$")
+                    any_cell = True
+            if any_cell:
+                lines.append(" & ".join(row) + " \\\\")
+    lines += ["\\bottomrule", "\\end{tabular}", "\\end{table}"]
+    return "\n".join(lines)
+
+
+def render_significance_markdown(rows: Sequence[SignificanceRow],
+                                 target: str = "CLFD",
+                                 alpha: float = 0.05) -> str:
+    lines = [
+        f"| {target} vs | n | Δmean | t | p (t) | p (t, Holm) "
+        f"| W | p (W) | p (W, Holm) | sig. (α={alpha:g}) |",
+        "|" + "---|" * 10,
+    ]
+    for row in rows:
+        mark = "**yes**" if row.significant(alpha) else "no"
+        lines.append(
+            f"| {row.baseline} | {row.t.n} | {row.t.mean_difference:+.3f} "
+            f"| {row.t.statistic:.3f} | {_p_str(row.t.pvalue)} "
+            f"| {_p_str(row.t.adjusted_pvalue)} "
+            f"| {row.wilcoxon.statistic:.1f} "
+            f"| {_p_str(row.wilcoxon.pvalue)} "
+            f"| {_p_str(row.wilcoxon.adjusted_pvalue)} | {mark} |")
+    return "\n".join(lines)
+
+
+def render_significance_latex(rows: Sequence[SignificanceRow],
+                              target: str = "CLFD",
+                              alpha: float = 0.05) -> str:
+    lines = [
+        "\\begin{table}[t]", "\\centering",
+        f"\\caption{{Paired tests of {_latex_escape(target)} against "
+        f"each baseline (Holm-corrected, $\\alpha={alpha:g}$).}}",
+        "\\begin{tabular}{lrrrrrr}", "\\toprule",
+        "Baseline & $n$ & $\\Delta$mean & $t$ & $p_t^{\\mathrm{Holm}}$ & "
+        "$W$ & $p_W^{\\mathrm{Holm}}$ \\\\",
+        "\\midrule",
+    ]
+    for row in rows:
+        name = _latex_escape(row.baseline)
+        if row.significant(alpha):
+            name = f"\\textbf{{{name}}}"
+        lines.append(
+            f"{name} & {row.t.n} & ${row.t.mean_difference:+.3f}$ & "
+            f"${row.t.statistic:.3f}$ & {_p_str(row.t.adjusted_pvalue)} & "
+            f"${row.wilcoxon.statistic:.1f}$ & "
+            f"{_p_str(row.wilcoxon.adjusted_pvalue)} \\\\")
+    lines += ["\\bottomrule", "\\end{tabular}", "\\end{table}"]
+    return "\n".join(lines)
+
+
+def _latex_escape(text: str) -> str:
+    for char in "&%$#_{}":
+        text = text.replace(char, "\\" + char)
+    return text
+
+
+# ----------------------------------------------------------------------
+# One-call entry point (what `repro analyze` drives)
+# ----------------------------------------------------------------------
+def analyze_cache(cache: RunCache | str | os.PathLike, metric: str = "f1",
+                  target: str = "CLFD", fmt: str = "markdown",
+                  alpha: float = 0.05, measure: str = "test_metrics",
+                  ) -> str:
+    """Aggregate + test + render a run-cache directory in one call."""
+    records = load_sweep_records(cache, measure=measure)
+    if not records:
+        raise ValueError(f"no completed {measure!r} records in "
+                         f"{cache!r} — run a sweep first")
+    cells = cross_seed_table(records, metric=metric)
+    sections = []
+    models = {c.model for c in cells}
+    try:
+        rows = significance_report(records, metric=metric, target=target)
+    except ValueError:
+        rows = []  # single-model caches still get the aggregate table
+    if fmt in ("markdown", "both"):
+        sections.append(f"### Cross-seed aggregation ({metric})\n")
+        sections.append(render_markdown(cells, metric=metric))
+        if rows:
+            sections.append(f"\n### Significance vs {target} "
+                            f"({len(models) - 1} baselines)\n")
+            sections.append(render_significance_markdown(
+                rows, target=target, alpha=alpha))
+    if fmt in ("latex", "both"):
+        sections.append("\n% ---- LaTeX ----" if fmt == "both" else "")
+        sections.append(render_latex(
+            cells, metric=metric,
+            caption=f"Cross-seed {_latex_escape(metric)} "
+                    f"(mean $\\pm$ std).",
+            label=f"tab:{metric}"))
+        if rows:
+            sections.append(render_significance_latex(
+                rows, target=target, alpha=alpha))
+    return "\n".join(s for s in sections if s)

@@ -3,6 +3,9 @@
 Usage::
 
     python -m repro table1 --scale 0.1 --seeds 3
+    python -m repro table1 --seeds 5 --workers 2 --hosts :7787
+    python -m repro join leader-host:7787
+    python -m repro analyze --metric f1 --format both
     python -m repro table3
     python -m repro ablation --noise uniform
     python -m repro latency
@@ -53,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="process-pool width for grid commands "
                              "(1 = sequential)")
+    parser.add_argument("--hosts", metavar="ADDR", default=None,
+                        help="listen address (host:port, ':0' = ephemeral) "
+                             "for multi-host sweeps: this process becomes "
+                             "the leader, --workers local workers join, and "
+                             "remote hosts join with `repro join ADDR` "
+                             "(grid commands)")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk run cache")
     parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
@@ -77,6 +86,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="uniform noise rate (uniform mode only)")
 
     sub.add_parser("latency", help="Section IV-B3: training latency")
+
+    jn = sub.add_parser(
+        "join", help="join a running sweep leader as a worker host")
+    jn.add_argument("address", help="leader address from the leader's "
+                                    "banner, e.g. 10.0.0.5:7787")
+    jn.add_argument("--id", default=None,
+                    help="worker id (default: host:pid:uuid)")
+    jn.add_argument("--max-cells", type=int, default=None,
+                    help="leave after completing this many cells")
+
+    an = sub.add_parser(
+        "analyze",
+        help="cross-seed aggregation + paired significance tests over "
+             "a sweep's run-cache directory")
+    an.add_argument("--metric", default="f1",
+                    help="metric to aggregate and test (default: f1)")
+    an.add_argument("--target", default="CLFD",
+                    help="model the paired tests compare against every "
+                         "other model (default: CLFD)")
+    an.add_argument("--format", default="markdown",
+                    choices=("markdown", "latex", "both"),
+                    help="table rendering (default: markdown)")
+    an.add_argument("--alpha", type=float, default=0.05,
+                    help="significance level after Holm correction")
+    an.add_argument("--measure", default="test_metrics",
+                    help="record kind to analyze (default: test_metrics; "
+                         "correction_rates for table3 caches)")
 
     sw = sub.add_parser("sweep", help="sweep one CLFDConfig field")
     sw.add_argument("field", help="config field, e.g. q or mixup_beta")
@@ -259,11 +295,14 @@ def _model_list(value: str | None) -> list[str] | None:
 
 
 def _executor_kwargs(args) -> dict:
-    """workers/cache settings shared by every grid subcommand."""
-    return {
+    """workers/cache/coordination settings shared by grid subcommands."""
+    kwargs = {
         "workers": args.workers,
         "cache": None if args.no_cache else args.cache_dir,
     }
+    if args.hosts is not None:
+        kwargs["coordinate"] = args.hosts
+    return kwargs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -313,6 +352,19 @@ def main(argv: list[str] | None = None) -> int:
                                     verbose=True)
         print()
         print(format_sweep(args.field, points))
+    elif args.command == "join":
+        from .parallel import run_worker
+
+        print(f"joining sweep at {args.address} ...")
+        completed = run_worker(args.address, worker_id=args.id,
+                               max_cells=args.max_cells)
+        print(f"completed {completed} cell(s)")
+    elif args.command == "analyze":
+        from .analysis import analyze_cache
+
+        print(analyze_cache(args.cache_dir, metric=args.metric,
+                            target=args.target, fmt=args.format,
+                            alpha=args.alpha, measure=args.measure))
     elif args.command == "demo":
         _run_demo(args, settings)
     elif args.command == "save":

@@ -174,16 +174,18 @@ def _serializable(noises: Sequence[NoiseSpec]) -> bool:
 
 def _execute_grid(specs: Sequence[TaskSpec], workers: int,
                   cache: RunCache | str | None, retries: int,
-                  verbose: bool):
+                  verbose: bool, coordinate: str | bool | None = None):
     """Run a spec grid through one shared executor; fail loudly at the end.
 
     The sweep itself is fault-isolated (every cell runs, successes are
     cached); only after it completes does a remaining failure raise
     :class:`SweepError`, so a re-run resumes from the cache and only
-    recomputes the failed cells.
+    recomputes the failed cells.  ``coordinate`` switches to the
+    multi-host work-stealing tier: this process becomes the leader on
+    that address and remote ``repro join`` workers can lease cells.
     """
     executor = GridExecutor(workers=workers, cache=cache, retries=retries,
-                            progress=bool(verbose))
+                            progress=bool(verbose), coordinate=coordinate)
     cell_results = executor.run(specs)
     if verbose:  # pragma: no cover - console reporting
         print(format_timing_summary(cell_results, executor.last_wall_seconds),
@@ -201,6 +203,7 @@ def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
                    workers: int = 1,
                    cache: RunCache | str | None = None,
                    retries: int = 1,
+                   coordinate: str | bool | None = None,
                    ) -> dict[str, dict[str, dict[str, dict[str, MetricSummary]]]]:
     """Grid of model x dataset x noise, aggregated over seeds.
 
@@ -216,7 +219,7 @@ def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
     if models is None:
         models = ["CLFD"] + list(BASELINES)
     if not _serializable(noises):
-        if workers > 1 or cache is not None:
+        if workers > 1 or cache is not None or coordinate:
             raise ValueError(
                 "custom NoiseSpec objects (kind=None) cannot cross process "
                 "boundaries or be cache-keyed; run with workers=1 and "
@@ -236,7 +239,8 @@ def run_comparison(settings: ExperimentSettings, noises: Sequence[NoiseSpec],
                         noise_params=noise.params, seed=seed,
                         scale=settings.scale))
                     meta.append((model_name, dataset, noise))
-    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose,
+                                 coordinate=coordinate)
 
     grouped: dict[tuple, list[dict]] = {}
     for (model_name, dataset, noise), cell in zip(meta, cell_results):
@@ -305,6 +309,7 @@ def run_table3(settings: ExperimentSettings | None = None,
                workers: int = 1,
                cache: RunCache | str | None = None,
                retries: int = 1,
+               coordinate: str | bool | None = None,
                ) -> dict[str, dict[str, dict[str, MetricSummary]]]:
     """Table III: label-corrector TPR/TNR on the noisy training set.
 
@@ -323,7 +328,8 @@ def run_table3(settings: ExperimentSettings | None = None,
                     noise_params=noise.params, seed=seed,
                     scale=settings.scale, measure="correction_rates"))
                 meta.append((dataset, noise))
-    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose,
+                                 coordinate=coordinate)
 
     grouped: dict[tuple, dict[str, list[float]]] = {}
     for (dataset, noise), cell in zip(meta, cell_results):
@@ -365,7 +371,8 @@ def run_ablation(noise: NoiseSpec, settings: ExperimentSettings | None = None,
                  verbose: bool = False,
                  workers: int = 1,
                  cache: RunCache | str | None = None,
-                 retries: int = 1) -> dict:
+                 retries: int = 1,
+                 coordinate: str | bool | None = None) -> dict:
     """Shared engine for Tables IV and V.
 
     Returns ``results[variant][dataset][metric]``.
@@ -374,7 +381,7 @@ def run_ablation(noise: NoiseSpec, settings: ExperimentSettings | None = None,
     variants = list(variants) if variants else list(ABLATIONS)
     base_config = settings.clfd_config()
     if not _serializable([noise]):
-        if workers > 1 or cache is not None:
+        if workers > 1 or cache is not None or coordinate:
             raise ValueError(
                 "custom NoiseSpec (kind=None) cannot run with workers>1 "
                 "or a run cache; use uniform_noise/class_dependent_noise")
@@ -393,7 +400,8 @@ def run_ablation(noise: NoiseSpec, settings: ExperimentSettings | None = None,
                     noise_params=noise.params, seed=seed,
                     scale=settings.scale))
                 meta.append((variant, dataset))
-    cell_results = _execute_grid(specs, workers, cache, retries, verbose)
+    cell_results = _execute_grid(specs, workers, cache, retries, verbose,
+                                 coordinate=coordinate)
 
     grouped: dict[tuple, list[dict]] = {}
     for (variant, dataset), cell in zip(meta, cell_results):

@@ -10,12 +10,19 @@ determinism guarantees, and failure semantics.
 """
 
 from .cache import DEFAULT_CACHE_DIR, RunCache
+from .coordinator import (
+    DEFAULT_LEASE_TTL,
+    Coordinator,
+    CoordinatorClient,
+    parse_address,
+)
 from .executor import (
     CellResult,
     GridExecutor,
     SweepError,
     format_timing_summary,
 )
+from .gridworker import run_worker, spawn_local_workers
 from .tasks import CACHE_FORMAT, TaskSpec, task_key
 from .worker import build_estimator, execute_task
 
@@ -23,5 +30,7 @@ __all__ = [
     "TaskSpec", "task_key", "CACHE_FORMAT",
     "RunCache", "DEFAULT_CACHE_DIR",
     "GridExecutor", "CellResult", "SweepError", "format_timing_summary",
+    "Coordinator", "CoordinatorClient", "parse_address",
+    "DEFAULT_LEASE_TTL", "run_worker", "spawn_local_workers",
     "execute_task", "build_estimator",
 ]

@@ -8,7 +8,13 @@ are always retried by the next sweep.
 
 Writes are atomic (temp file + ``os.replace``), so a sweep killed
 mid-write never leaves a truncated record; corrupt or unreadable files
-are treated as misses and overwritten.
+are treated as misses and overwritten.  The same directory may be
+shared by several hosts (NFS + a multi-host coordinator sweep):
+records are self-contained and idempotent, so concurrent writers can
+only race to produce identical bytes.  Orphaned ``*.tmp`` files — the
+crash window between ``mkstemp`` and ``os.replace`` — are swept on
+open and on :meth:`RunCache.clear`, age-gated so an in-flight writer
+on another host is never clobbered.
 """
 
 from __future__ import annotations
@@ -19,17 +25,25 @@ import pathlib
 import tempfile
 import time
 
-__all__ = ["RunCache", "DEFAULT_CACHE_DIR"]
+__all__ = ["RunCache", "DEFAULT_CACHE_DIR", "TMP_SWEEP_AGE_S"]
 
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+# A writer holds its .tmp for milliseconds (json.dump + os.replace).
+# Anything this much older is an orphan from a crashed process, not an
+# in-flight write on a slow NFS peer.
+TMP_SWEEP_AGE_S = 3600.0
 
 
 class RunCache:
     """Directory of ``<key>.json`` run records."""
 
-    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR):
+    def __init__(self, root: str | os.PathLike = DEFAULT_CACHE_DIR,
+                 tmp_sweep_age_s: float = TMP_SWEEP_AGE_S):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.tmp_sweep_age_s = float(tmp_sweep_age_s)
+        self.sweep_orphans()
 
     def path(self, key: str) -> pathlib.Path:
         return self.root / f"{key}.json"
@@ -61,13 +75,40 @@ class RunCache:
             raise
 
     def __contains__(self, key: str) -> bool:
-        return self.path(key).exists()
+        # Must agree with get(): a torn/corrupt record on disk is a
+        # miss, not a hit — path.exists() alone would make the executor
+        # skip the cell as "cached" and then aggregate a null result.
+        return self.get(key) is not None
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 
+    def sweep_orphans(self, min_age_s: float | None = None) -> int:
+        """Remove ``*.tmp`` leftovers older than ``min_age_s`` seconds.
+
+        A ``put`` interrupted between ``mkstemp`` and ``os.replace``
+        strands its temp file; under a shared multi-host cache dir
+        those accumulate forever.  The age gate keeps concurrent
+        in-flight writers on other hosts safe.  Returns the number of
+        files removed.
+        """
+        if min_age_s is None:
+            min_age_s = self.tmp_sweep_age_s
+        cutoff = time.time() - min_age_s
+        removed = 0
+        for path in self.root.glob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass  # raced with another sweeper or an os.replace
+        return removed
+
     def clear(self) -> int:
-        """Delete every record; returns how many were removed."""
+        """Delete every record (and all temp leftovers, regardless of
+        age — clear() means the caller wants an empty directory);
+        returns how many records were removed."""
         removed = 0
         for path in self.root.glob("*.json"):
             try:
@@ -75,6 +116,7 @@ class RunCache:
                 removed += 1
             except OSError:
                 pass
+        self.sweep_orphans(min_age_s=0.0)
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -21,11 +21,20 @@ cells and returns one :class:`CellResult` per spec, in input order.
   single-worker pool — a cell that crashes its private pool is
   definitively the culprit and consumes its own retry budget, while
   innocent cells that merely shared the broken pool complete unharmed.
+* ``coordinate="host:port"`` runs the sweep through the multi-host
+  work-stealing tier instead of a process pool: a
+  :class:`~repro.parallel.coordinator.Coordinator` leader hands out
+  content keys over TCP, ``workers`` local worker processes join
+  immediately, and workers on any other host can steal cells with
+  ``repro join host:port``.  Completed records land in the shared
+  :class:`RunCache`, so a multi-host sweep is bit-identical to — and
+  resumable as — a single-host one.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import queue as queue_mod
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -33,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from .cache import RunCache
+from .coordinator import DEFAULT_LEASE_TTL
 from .tasks import TaskSpec, task_key
 from .worker import execute_task
 
@@ -95,19 +105,36 @@ def _failure_record(exc: BaseException, attempts: int) -> dict:
 
 
 class _Progress:
-    """Live per-cell lines with elapsed/ETA, plus a final summary."""
+    """Live per-cell lines with elapsed/ETA, plus a final summary.
 
-    def __init__(self, total: int, workers: int, emit: Callable[[str], None]):
+    ``workers`` may be an ``int`` (fixed pool width) or a zero-argument
+    callable returning the *live* worker count — under multi-host
+    execution the divisor is the coordinator's current lease-holder
+    count, not the local pool width, or the ETA is off by the number of
+    remote hosts.
+    """
+
+    def __init__(self, total: int, workers: int | Callable[[], int],
+                 emit: Callable[[str], None]):
         self.total = total
-        self.workers = max(1, workers)
+        self.workers = workers
         self.emit = emit
         self.done = 0
+        self.cached = 0
         self.start = time.perf_counter()
         self._compute_seconds: list[float] = []
 
+    def worker_count(self) -> int:
+        workers = self.workers
+        if callable(workers):
+            workers = workers()
+        return max(1, int(workers))
+
     def update(self, result: CellResult) -> None:
         self.done += 1
-        if result.ok and not result.cached:
+        if result.cached:
+            self.cached += 1
+        elif result.ok:
             self._compute_seconds.append(result.seconds)
         prefix = f"[{self.done:>{len(str(self.total))}d}/{self.total}] "
         cell = f"{result.spec.describe():44s}"
@@ -122,12 +149,24 @@ class _Progress:
                     f"{result.error['type']}: {result.error['message']}")
         self.emit(prefix + cell + body + self._eta())
 
+    def finish(self) -> None:
+        """Summarize the all-cached fast path.
+
+        When every cell resumes from the run cache there are no compute
+        samples, so no per-cell line ever carried an elapsed/ETA suffix;
+        still report the total elapsed instead of ending silently.
+        """
+        if self.total and self.cached == self.total:
+            elapsed = time.perf_counter() - self.start
+            self.emit(f"all {self.total} cell(s) cached  "
+                      f"(elapsed {_hms(elapsed)})")
+
     def _eta(self) -> str:
         remaining = self.total - self.done
         if remaining <= 0 or not self._compute_seconds:
             return ""
         per_cell = sum(self._compute_seconds) / len(self._compute_seconds)
-        eta = per_cell * remaining / self.workers
+        eta = per_cell * remaining / self.worker_count()
         elapsed = time.perf_counter() - self.start
         return f"  (elapsed {_hms(elapsed)}, eta {_hms(eta)})"
 
@@ -148,9 +187,12 @@ class GridExecutor:
                  cache: RunCache | str | None = None,
                  retries: int = 1,
                  progress: bool | Callable[[str], None] = False,
-                 checkpoint_dir: str | None = None):
-        if workers < 1:
-            raise ValueError("workers must be >= 1")
+                 checkpoint_dir: str | None = None,
+                 coordinate: str | bool | None = None,
+                 lease_ttl: float = DEFAULT_LEASE_TTL):
+        if workers < (0 if coordinate else 1):
+            raise ValueError("workers must be >= 1 (>= 0 when coordinating "
+                             "— a leader may serve remote workers only)")
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.workers = workers
@@ -160,6 +202,14 @@ class GridExecutor:
         # resumes from its last phase/epoch snapshot under
         # <checkpoint_dir>/<task_key>/ instead of restarting at epoch 0.
         self.checkpoint_dir = checkpoint_dir
+        # Multi-host mode: a listen address ("host:port", ":port", or
+        # True for an ephemeral localhost port).  The leader hands out
+        # content keys; `workers` local processes join immediately and
+        # remote hosts join with `repro join host:port`.
+        self.coordinate = coordinate
+        self.lease_ttl = lease_ttl
+        self.coordinator = None  # live Coordinator while run() executes
+        self.coordinator_address: tuple[str, int] | None = None
         if progress is True:
             self._emit = lambda line: print(line, flush=True)
         elif callable(progress):
@@ -191,11 +241,15 @@ class GridExecutor:
                 todo.append(i)
 
         if todo:
-            if self.workers == 1:
+            if self.coordinate:
+                self._run_coordinated(specs, todo, results, progress)
+            elif self.workers == 1:
                 self._run_sequential(specs, todo, results, progress)
             else:
                 self._run_pool(specs, todo, results, progress)
 
+        if progress:
+            progress.finish()
         self.last_wall_seconds = time.perf_counter() - start
         return results  # type: ignore[return-value]
 
@@ -316,6 +370,93 @@ class GridExecutor:
                                   attempts=attempt + 1)
             finally:
                 solo.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    def _run_coordinated(self, specs, todo, results, progress) -> None:
+        """Drive the todo cells through the work-stealing coordinator.
+
+        The leader owns the (shared) RunCache: every completion event
+        funnels through :meth:`_finish`, so a coordinated sweep writes
+        exactly the records a sequential one writes.  Local workers
+        that die are respawned while work remains (bounded by a spawn
+        budget so a cell that crashes every host it touches cannot
+        respawn forever — the coordinator's re-queue cap quarantines it
+        first).
+        """
+        from .coordinator import Coordinator
+        from .gridworker import spawn_local_workers
+
+        coordinator = Coordinator({i: specs[i] for i in todo},
+                                  retries=self.retries,
+                                  lease_ttl=self.lease_ttl)
+        host, port = coordinator.start(
+            None if self.coordinate is True else self.coordinate)
+        self.coordinator = coordinator
+        self.coordinator_address = (host, port)
+        if progress:
+            # ETA divisor = live lease holders across *all* hosts.
+            progress.workers = \
+                lambda: coordinator.active_workers() or self.workers or 1
+        if self._emit:
+            self._emit(f"coordinator listening on {host}:{port} "
+                       f"({len(todo)} cell(s), {self.workers} local "
+                       f"worker(s); join with: repro join {host}:{port})")
+        connect = ("127.0.0.1" if host in ("0.0.0.0", "::") else host, port)
+        procs = spawn_local_workers(connect, self.workers,
+                                    self.checkpoint_dir)
+        spawned = len(procs)
+        spawn_budget = self.workers * (1 + coordinator.max_requeues)
+        remaining = set(todo)
+        try:
+            while remaining:
+                try:
+                    event = coordinator.events.get(timeout=0.25)
+                except queue_mod.Empty:
+                    procs, spawned = self._maintain_local_workers(
+                        coordinator, procs, spawned, spawn_budget, connect)
+                    continue
+                kind, index = event[0], event[1]
+                spec, key = specs[index], task_key(specs[index])
+                if kind == "complete":
+                    payload, attempts = event[2], event[3]
+                    self._finish(results, progress, index, CellResult(
+                        spec=spec, key=key, metrics=payload["metrics"],
+                        seconds=payload["seconds"], attempts=attempts))
+                else:
+                    error = event[2]
+                    self._finish(results, progress, index, CellResult(
+                        spec=spec, key=key, error=error,
+                        attempts=int(error.get("attempts", 1))))
+                remaining.discard(index)
+        finally:
+            coordinator.stop()
+            self.coordinator = None
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.join(timeout=5.0)
+
+    def _maintain_local_workers(self, coordinator, procs, spawned,
+                                spawn_budget, connect):
+        """Respawn dead local workers while cells remain outstanding."""
+        from .gridworker import spawn_local_workers
+
+        alive = [p for p in procs if p.is_alive()]
+        dead = len(procs) - len(alive)
+        if dead and coordinator.outstanding() > 0 and spawned < spawn_budget:
+            replacements = spawn_local_workers(
+                connect, min(dead, spawn_budget - spawned),
+                self.checkpoint_dir)
+            alive.extend(replacements)
+            spawned += len(replacements)
+            return alive, spawned
+        if (self.workers and not alive and spawned >= spawn_budget
+                and coordinator.active_workers() == 0):
+            # Nobody left to execute: queued cells would wait forever.
+            coordinator.fail_queued(
+                f"local worker spawn budget ({spawn_budget}) exhausted "
+                f"and no remote worker holds a lease")
+        return (alive if dead else procs), spawned
 
 
 def format_timing_summary(results: Sequence[CellResult],

@@ -1,0 +1,175 @@
+"""Dependency-free significance tests: known values + scipy cross-check."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    holm_correction,
+    paired_t_test,
+    t_sf,
+    wilcoxon_signed_rank,
+)
+from repro.analysis.stats import regularized_incomplete_beta
+
+
+# ----------------------------------------------------------------------
+# Special functions
+# ----------------------------------------------------------------------
+def test_incomplete_beta_endpoints_and_symmetry():
+    assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+    assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+    # I_x(a, b) = 1 - I_{1-x}(b, a)
+    left = regularized_incomplete_beta(2.5, 4.0, 0.3)
+    right = 1.0 - regularized_incomplete_beta(4.0, 2.5, 0.7)
+    assert left == pytest.approx(right, abs=1e-12)
+    # I_x(1, 1) is the uniform CDF.
+    assert regularized_incomplete_beta(1.0, 1.0, 0.42) == \
+        pytest.approx(0.42, abs=1e-12)
+
+
+def test_t_sf_reference_values():
+    # Textbook t-table: P(T >= 2.228 | df=10) = 0.025.
+    assert t_sf(2.228, 10) == pytest.approx(0.025, abs=1e-4)
+    assert t_sf(0.0, 7) == pytest.approx(0.5, abs=1e-12)
+    assert t_sf(-2.228, 10) == pytest.approx(0.975, abs=1e-4)
+    assert t_sf(math.inf, 5) == 0.0
+    assert math.isnan(t_sf(math.nan, 5))
+    # df=1 is the Cauchy distribution: P(T >= 1) = 1/4.
+    assert t_sf(1.0, 1) == pytest.approx(0.25, abs=1e-10)
+
+
+# ----------------------------------------------------------------------
+# Paired t
+# ----------------------------------------------------------------------
+def test_paired_t_known_example():
+    x = [30.0, 31.0, 34.0, 33.0, 35.0]
+    y = [29.0, 30.0, 31.0, 32.0, 30.0]
+    result = paired_t_test(x, y)
+    d = np.array(x) - np.array(y)
+    expected_t = d.mean() / (d.std(ddof=1) / math.sqrt(5))
+    assert result.statistic == pytest.approx(expected_t, abs=1e-12)
+    assert result.n == 5
+    assert result.mean_difference == pytest.approx(d.mean())
+    assert 0.0 < result.pvalue < 1.0
+
+
+def test_paired_t_identical_models_is_p_one():
+    result = paired_t_test([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+    assert result.statistic == 0.0
+    assert result.pvalue == 1.0
+
+
+def test_paired_t_constant_nonzero_difference():
+    result = paired_t_test([2.0, 3.0, 4.0], [1.0, 2.0, 3.0])
+    assert math.isinf(result.statistic) and result.statistic > 0
+    assert result.pvalue == 0.0
+
+
+def test_paired_t_drops_non_finite_pairs():
+    result = paired_t_test([1.0, 2.0, math.nan, 4.0],
+                           [0.0, 1.0, 5.0, math.inf])
+    assert result.n == 2
+
+
+def test_paired_t_validates_shapes():
+    with pytest.raises(ValueError):
+        paired_t_test([1.0, 2.0], [1.0])
+    with pytest.raises(ValueError):
+        paired_t_test([1.0], [1.0])
+
+
+# ----------------------------------------------------------------------
+# Wilcoxon signed-rank
+# ----------------------------------------------------------------------
+def test_wilcoxon_exact_small_sample():
+    # n=5, all differences positive -> W- = 0, the most extreme value.
+    # Exact two-sided p = 2 * P(W <= 0) = 2 / 2^5 = 0.0625.
+    result = wilcoxon_signed_rank([2.0, 4.0, 6.0, 8.0, 10.0],
+                                  [1.0, 2.0, 3.0, 4.0, 5.0])
+    assert result.statistic == 0.0
+    assert result.pvalue == pytest.approx(0.0625, abs=1e-12)
+    assert result.n == 5
+
+
+def test_wilcoxon_drops_zero_differences():
+    result = wilcoxon_signed_rank([1.0, 2.0, 5.0, 7.0],
+                                  [1.0, 2.0, 3.0, 4.0])
+    assert result.n == 2  # the two exact ties dropped
+
+
+def test_wilcoxon_all_ties_degenerate():
+    result = wilcoxon_signed_rank([1.0, 2.0], [1.0, 2.0])
+    assert result.pvalue == 1.0
+    assert result.n == 0
+
+
+def test_wilcoxon_large_sample_uses_normal_approximation():
+    rng = np.random.default_rng(0)
+    x = rng.normal(0.3, 1.0, size=60)
+    y = np.zeros(60)
+    result = wilcoxon_signed_rank(x, y)
+    assert result.n == 60
+    assert result.pvalue < 0.2
+
+
+# ----------------------------------------------------------------------
+# Holm
+# ----------------------------------------------------------------------
+def test_holm_known_example():
+    adjusted = holm_correction([0.01, 0.04, 0.03, 0.005])
+    assert adjusted == pytest.approx([0.03, 0.06, 0.06, 0.02])
+
+
+def test_holm_is_monotone_and_capped():
+    adjusted = holm_correction([0.9, 0.8, 0.7])
+    assert all(p <= 1.0 for p in adjusted)
+    ordering = sorted(range(3), key=lambda i: [0.9, 0.8, 0.7][i])
+    assert [adjusted[i] for i in ordering] == sorted(
+        adjusted[i] for i in ordering)
+
+
+def test_holm_nan_passthrough_shrinks_family():
+    adjusted = holm_correction([0.02, math.nan, 0.04])
+    assert math.isnan(adjusted[1])
+    # Family size is 2, not 3.
+    assert adjusted[0] == pytest.approx(0.04)
+    assert adjusted[2] == pytest.approx(0.04)
+
+
+# ----------------------------------------------------------------------
+# scipy cross-checks (skipped on the scipy-free CI image)
+# ----------------------------------------------------------------------
+def test_paired_t_matches_scipy():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    rng = np.random.default_rng(7)
+    for _ in range(25):
+        n = int(rng.integers(3, 30))
+        x = rng.normal(0.2, 1.0, size=n)
+        y = rng.normal(0.0, 1.0, size=n)
+        ours = paired_t_test(x, y)
+        ref = scipy_stats.ttest_rel(x, y)
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-9)
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=1e-9)
+
+
+def test_wilcoxon_matches_scipy_exact():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    rng = np.random.default_rng(11)
+    for _ in range(25):
+        n = int(rng.integers(5, 20))
+        x = rng.normal(0.3, 1.0, size=n)
+        y = rng.normal(0.0, 1.0, size=n)
+        ours = wilcoxon_signed_rank(x, y)
+        ref = scipy_stats.wilcoxon(x, y, mode="exact")
+        assert ours.statistic == pytest.approx(ref.statistic, abs=1e-9)
+        assert ours.pvalue == pytest.approx(ref.pvalue, abs=1e-9)
+
+
+def test_t_sf_matches_scipy():
+    scipy_stats = pytest.importorskip("scipy.stats")
+    for t in (-3.2, -0.5, 0.0, 0.7, 2.5, 6.0):
+        for df in (1, 4, 9, 30, 120):
+            assert t_sf(t, df) == pytest.approx(
+                scipy_stats.t.sf(t, df), abs=1e-10)

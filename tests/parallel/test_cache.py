@@ -1,5 +1,10 @@
 """RunCache: roundtrip, restart survival, corruption tolerance."""
 
+import os
+import time
+
+import pytest
+
 from repro.parallel import RunCache
 
 
@@ -28,6 +33,74 @@ def test_corrupt_record_is_a_miss(tmp_path):
     assert cache.get("k") is None
     cache.path("k").write_text("[1, 2]")  # valid JSON, wrong shape
     assert cache.get("k") is None
+
+
+def test_contains_agrees_with_get_on_corrupt_record(tmp_path):
+    """Regression: __contains__ used path.exists() while get() treated
+    a torn record as a miss, so the executor skipped the cell as
+    "cached" and aggregated a null result."""
+    cache = RunCache(tmp_path / "cache")
+    cache.put("k", {"metrics": {"f1": 1.0}})
+    assert "k" in cache
+    # Plant a torn record: the file exists but is unreadable.
+    cache.path("k").write_text('{"metrics": {"f1"')
+    assert cache.get("k") is None
+    assert "k" not in cache  # exists() would say True
+    cache.path("k").write_text("[1, 2]")  # valid JSON, wrong shape
+    assert "k" not in cache
+
+
+def test_orphaned_tmp_files_swept(tmp_path):
+    """Regression: a put() crash window strands mkstemp *.tmp files
+    that clear() never removed and that pile up under a shared dir."""
+    root = tmp_path / "cache"
+    cache = RunCache(root)
+    old = root / "orphan-old.tmp"
+    old.write_text("{partial")
+    stale_mtime = time.time() - 7200
+    os.utime(old, (stale_mtime, stale_mtime))
+    fresh = root / "orphan-fresh.tmp"
+    fresh.write_text("{in-flight")
+
+    # Opening the cache sweeps only age-gated orphans: the stale one
+    # goes, the fresh one (an in-flight writer on another host) stays.
+    reopened = RunCache(root)
+    assert not old.exists()
+    assert fresh.exists()
+
+    # clear() means "empty the directory": records and all tmp files.
+    reopened.put("k", {"metrics": {}})
+    assert reopened.clear() == 1
+    assert not fresh.exists()
+    assert list(root.glob("*.tmp")) == []
+
+
+def test_put_crash_window_orphan_is_recovered(tmp_path, monkeypatch):
+    """Kill put() between mkstemp and os.replace; the orphan must be
+    reclaimed by the next age-gated sweep and never count as a hit."""
+    cache = RunCache(tmp_path / "cache")
+
+    def exploding_replace(src, dst):
+        raise OSError("disk pulled mid-replace")
+
+    def failing_unlink(path):
+        raise OSError("host died before cleanup")
+
+    monkeypatch.setattr(os, "replace", exploding_replace)
+    # Worst case: the error-path unlink *also* fails (host died),
+    # stranding the tmp file.
+    monkeypatch.setattr(os, "unlink", failing_unlink)
+    with pytest.raises(OSError, match="disk pulled"):
+        cache.put("k", {"metrics": {"f1": 1.0}})
+    monkeypatch.undo()
+    orphans = list(cache.root.glob("*.tmp"))
+    assert len(orphans) == 1
+    assert "k" not in cache
+    stale = time.time() - 7200
+    os.utime(orphans[0], (stale, stale))
+    # A fresh open (what every other host does) reclaims the orphan.
+    RunCache(cache.root)
+    assert list(cache.root.glob("*.tmp")) == []
 
 
 def test_put_overwrites_atomically(tmp_path):

@@ -144,3 +144,37 @@ def test_progress_lines_emitted(make_spec):
     assert len(lines) == 2
     assert lines[0].startswith("[1/2]")
     assert any("FAILED" in line for line in lines)
+
+
+def test_progress_eta_divides_by_live_worker_count(make_spec):
+    """The ETA divisor follows a callable worker count — under multi-host
+    execution the live lease-holder total, not the local pool width."""
+    workers = {"n": 1}
+    progress = executor_mod._Progress(total=5, workers=lambda: workers["n"],
+                                      emit=lambda line: None)
+    progress._compute_seconds = [8.0]
+    progress.done = 1
+    one_worker = progress._eta()
+    assert "eta 32s" in one_worker  # 8s/cell * 4 remaining / 1 worker
+    workers["n"] = 4
+    assert "eta 8s" in progress._eta()  # same state, 4x the hosts
+
+
+def test_all_cached_run_reports_total_elapsed(make_spec, tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    specs = [make_spec(seed=0), make_spec(seed=1)]
+    GridExecutor(cache=cache).run(specs)
+    lines = []
+    GridExecutor(cache=cache, progress=lines.append).run(specs)
+    assert all("cached" in line for line in lines)
+    assert lines[-1].startswith("all 2 cell(s) cached")
+    assert "elapsed" in lines[-1]
+
+
+def test_partially_cached_run_has_no_all_cached_summary(make_spec, tmp_path):
+    cache = RunCache(tmp_path / "cache")
+    GridExecutor(cache=cache).run([make_spec(seed=0)])
+    lines = []
+    GridExecutor(cache=cache, progress=lines.append).run(
+        [make_spec(seed=0), make_spec(seed=1)])
+    assert not any(line.startswith("all ") for line in lines)
